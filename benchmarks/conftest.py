@@ -1,0 +1,32 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one paper artefact (table or figure series), times
+it with pytest-benchmark, and writes the rendered text artefact to
+``benchmarks/output/`` so the reproduction is inspectable after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artefact_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_artefact(artefact_dir):
+    """Write a rendered table to benchmarks/output/<name>.txt and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        path = artefact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,31 @@
+"""Bench: cost-model ablations and the GC2/GC200 generational comparison.
+
+Not a paper artefact per se — these regenerate the *arguments* the paper
+makes in prose: the host-streaming caveat (Section 4.1), the possible
+butterfly optimizations (Section 2), and the generational question
+(Section 2.2's "prime question").
+"""
+
+import pytest
+
+from repro.experiments import ablation, generations
+
+
+def test_ablation_suite(benchmark, save_artefact):
+    rows = benchmark.pedantic(
+        lambda: ablation.streaming_ablation(sizes=(1024,)),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows[0].more_drastic
+    save_artefact("ablation_costmodel", ablation.render())
+
+
+def test_generations(benchmark, save_artefact):
+    rows = benchmark.pedantic(generations.run, rounds=1, iterations=1)
+    gc2, gc200 = rows
+    # Dense throughput roughly doubles across the generation (31 -> 62.5
+    # TFLOP/s peak), and the bigger SRAM admits larger problems.
+    assert gc200.poplin_gflops_1024 > 1.2 * gc2.poplin_gflops_1024
+    assert gc200.largest_matmul >= 2 * gc2.largest_matmul
+    save_artefact("generations", generations.render())

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig 3 (exchange latency/bandwidth vs tile distance)."""
+
+from repro.experiments import fig3
+
+
+def test_fig3_exchange_sweep(benchmark, save_artefact):
+    rows = benchmark(fig3.run)
+    # Observation 1: every point is distance-independent.
+    assert all(r.distance_independent for r in rows)
+    # Bandwidth saturates with message size.
+    assert rows[-1].neighbour_bandwidth > rows[0].neighbour_bandwidth
+    save_artefact("fig3_exchange", fig3.render())

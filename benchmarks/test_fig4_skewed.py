@@ -1,0 +1,37 @@
+"""Bench: regenerate Fig 4 (skewed matmul, GPU collapses / IPU flat)."""
+
+import pytest
+
+from repro.experiments import fig4
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig4.run(base=2048)
+
+
+def test_fig4_sweep(benchmark, rows, save_artefact):
+    benchmark.pedantic(
+        lambda: fig4.run(base=1024, exponents=[-8, 0, 8]),
+        rounds=1,
+        iterations=1,
+    )
+    square = next(r for r in rows if r.skew == 1.0)
+    extremes = [rows[0], rows[-1]]
+    # GPU FP32 loses most of its throughput at the extremes.
+    for row in extremes:
+        assert row.gpu_fp32_gflops < 0.5 * square.gpu_fp32_gflops
+    # The IPU stays within a factor ~2 band across the whole sweep.
+    ipu = [r.ipu_gflops for r in rows]
+    assert min(ipu) > 0.4 * max(ipu)
+    save_artefact("fig4_skewed", fig4.render(base=2048))
+
+
+def test_fig4_tf32_fragility(rows):
+    square = next(r for r in rows if r.skew == 1.0)
+    worst_tf32 = min(r.gpu_tf32_gflops for r in rows)
+    worst_fp32 = min(r.gpu_fp32_gflops for r in rows)
+    # Relative collapse is at least as bad for the tensor-core path.
+    assert (worst_tf32 / square.gpu_tf32_gflops) <= (
+        worst_fp32 / square.gpu_fp32_gflops
+    ) + 1e-9

@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig 5 (IPU graph structure & memory vs problem size)."""
+
+import pytest
+
+from repro.experiments import fig5
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig5.run()
+
+
+def test_fig5_memory_growth(benchmark, rows, save_artefact):
+    benchmark.pedantic(
+        lambda: fig5.run(sizes=[64, 512]), rounds=1, iterations=1
+    )
+    # Observation 3: compiled memory always exceeds the raw footprint.
+    for row in rows:
+        assert row.overhead_ratio > 1.0
+    # Free memory shrinks monotonically with problem size.
+    free = [r.profile.free_bytes for r in rows]
+    assert all(a >= b for a, b in zip(free, free[1:]))
+    save_artefact("fig5_memory", fig5.render())
+
+
+def test_fig5_structure_drives_memory(rows):
+    # Across the sweep, graphs with more vertices+edges use more memory.
+    big = rows[-1].profile
+    small = rows[0].profile
+    assert big.n_vertices >= small.n_vertices
+    assert big.n_edges >= small.n_edges
+    assert big.total_bytes > small.total_bytes

@@ -1,0 +1,54 @@
+"""Bench: regenerate Fig 7 (compute sets & memory per factorization)."""
+
+import pytest
+
+from repro.experiments import fig7
+from repro.utils import log2_int
+
+SIZES = [128, 512, 2048]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig7.run(sizes=SIZES)
+
+
+def _by(rows, layer):
+    return {r.n: r.profile for r in rows if r.layer == layer}
+
+
+def test_fig7_sweep(benchmark, rows, save_artefact):
+    benchmark.pedantic(
+        lambda: fig7.run(sizes=[128]), rounds=1, iterations=1
+    )
+    save_artefact("fig7_computesets", fig7.render(sizes=SIZES))
+
+
+def test_butterfly_compute_sets_scale_logarithmically(rows):
+    bf = _by(rows, "butterfly")
+    for n in SIZES:
+        assert bf[n].n_compute_sets >= log2_int(n)
+        assert bf[n].n_compute_sets <= log2_int(n) + 4
+
+
+def test_pixelfly_compute_sets_flat(rows):
+    pxf = _by(rows, "pixelfly")
+    counts = [pxf[n].n_compute_sets for n in SIZES]
+    assert max(counts) - min(counts) <= 3
+
+
+def test_memory_correlates_with_structure(rows):
+    # The paper's Fig 7 reading: compute sets correlate with
+    # variables/edges/vertices which drive memory.
+    for layer in ["butterfly", "pixelfly"]:
+        profiles = _by(rows, layer)
+        edges = [profiles[n].n_edges for n in SIZES]
+        totals = [profiles[n].total_bytes for n in SIZES]
+        assert all(a <= b for a, b in zip(edges, edges[1:]))
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+
+
+def test_butterfly_memory_advantage_at_scale(rows):
+    lin = _by(rows, "linear")
+    bf = _by(rows, "butterfly")
+    assert bf[2048].total_bytes < lin[2048].total_bytes

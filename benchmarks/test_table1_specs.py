@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 1 (GC200 vs A30 spec comparison)."""
+
+from repro.experiments import table1
+
+
+def test_table1_specs(benchmark, save_artefact):
+    rows = benchmark(table1.run)
+    labels = [r[0] for r in rows]
+    assert "FP32 peak compute" in labels
+    assert "TF32 peak compute" in labels
+    save_artefact("table1_specs", table1.render())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Table 5: the pixelfly hyper-parameter sweep on the IPU.
+
+Evaluates the (butterfly size, block size, low-rank size) grid, training
+each configuration briefly on synthetic CIFAR-10 and integrating the
+simulated IPU step time, then prints the paper's max-std reduction and the
+per-configuration detail.
+
+Run:  python examples/pixelfly_sweep.py [--epochs 2] [--full]
+"""
+
+import argparse
+import sys
+
+from repro.bench.reporting import Table
+from repro.experiments import table5
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full paper grid (slower); default is a 2x2x2 subgrid",
+    )
+    args = parser.parse_args(argv)
+
+    grid = None
+    if not args.full:
+        grid = [
+            (bf, bs, r)
+            for bf in (2, 16)
+            for bs in (8, 32)
+            for r in (2, 64)
+        ]
+    points = table5.run(grid=grid, epochs=args.epochs)
+
+    detail = Table(
+        title="Table 5 raw grid: per-configuration metrics",
+        columns=[
+            "butterfly",
+            "block",
+            "rank",
+            "time [s]",
+            "accuracy [%]",
+            "N_params",
+        ],
+    )
+    for p in points:
+        detail.add_row(
+            p.butterfly_size,
+            p.block_size,
+            p.rank,
+            p.time_s,
+            p.accuracy * 100,
+            p.n_params,
+        )
+    print(detail.render())
+    print()
+    print(table5.render(points))
+    print()
+    print(
+        "Paper's reading: block size moves execution time the most; the "
+        "low-rank size barely moves it (dense matmuls are the IPU's cheap "
+        "path) but matters for accuracy; pick the configuration by the "
+        "primary target — no single optimum exists."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

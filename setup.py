@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` (and, in fully offline
+environments without the `wheel` package, `python setup.py develop`) both
+work.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,155 @@
+"""Command-line entry point: regenerate paper artefacts.
+
+Usage::
+
+    python -m repro list                 # available artefacts
+    python -m repro table1 fig3 ...      # regenerate specific ones
+    python -m repro all                  # everything except the slow ones
+    python -m repro all --full           # everything, paper-scale budgets
+
+Each artefact prints to stdout; pass ``--out DIR`` to also write
+``DIR/<name>.txt`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    ablation,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    generations,
+    table1,
+    table2,
+    table4,
+    table5,
+)
+
+#: name -> (fast renderer, full renderer, description)
+ARTEFACTS: dict[str, tuple[Callable[[], str], Callable[[], str], str]] = {
+    "table1": (
+        table1.render,
+        table1.render,
+        "device spec comparison (GC200 vs A30)",
+    ),
+    "fig3": (
+        fig3.render,
+        fig3.render,
+        "exchange latency/bandwidth vs tile distance",
+    ),
+    "table2": (
+        lambda: table2.render(sizes=[1024]),
+        lambda: table2.render(),
+        "dense/sparse matmul GFLOP/s matrix",
+    ),
+    "fig4": (
+        lambda: fig4.render(base=1024),
+        lambda: fig4.render(),
+        "skewed matmul, GPU vs IPU",
+    ),
+    "fig5": (
+        fig5.render,
+        fig5.render,
+        "IPU graph/memory growth with problem size",
+    ),
+    "fig6": (
+        lambda: fig6.render(sizes=[128, 512, 2048]),
+        lambda: fig6.render(),
+        "linear vs butterfly vs pixelfly layer times",
+    ),
+    "fig7": (
+        lambda: fig7.render(sizes=[128, 512, 2048]),
+        lambda: fig7.render(),
+        "compute sets & memory per factorization",
+    ),
+    "table4": (
+        lambda: table4.render(
+            table4.run(epochs=2, n_train=800, n_test=400)
+        ),
+        lambda: table4.render(),
+        "SHL on synthetic CIFAR-10 (trains a model per method!)",
+    ),
+    "table5": (
+        lambda: table5.render(
+            table5.run(
+                grid=[(2, 8, 2), (2, 8, 64), (16, 8, 2), (16, 32, 2)],
+                epochs=1,
+                n_train=400,
+                n_test=200,
+            )
+        ),
+        lambda: table5.render(),
+        "pixelfly hyper-parameter sweep",
+    ),
+    "ablations": (
+        ablation.render,
+        ablation.render,
+        "cost-model ablations (streaming, AMP butterfly, sync)",
+    ),
+    "generations": (
+        generations.render,
+        generations.render,
+        "GC2 vs GC200 generational comparison",
+    ),
+}
+
+#: Excluded from `all` without --full (they train models for minutes).
+SLOW = {"table4", "table5"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    parser.add_argument(
+        "artefacts",
+        nargs="+",
+        help="artefact names, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale budgets (slow: full training runs)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="also write files"
+    )
+    args = parser.parse_args(argv)
+
+    if args.artefacts == ["list"]:
+        for name, (_, _, desc) in ARTEFACTS.items():
+            slow = " [slow]" if name in SLOW else ""
+            print(f"{name:12s} {desc}{slow}")
+        return 0
+
+    names = list(ARTEFACTS) if args.artefacts == ["all"] else args.artefacts
+    if args.artefacts == ["all"] and not args.full:
+        names = [n for n in names if n not in SLOW]
+
+    unknown = [n for n in names if n not in ARTEFACTS]
+    if unknown:
+        parser.error(
+            f"unknown artefact(s) {unknown}; try 'python -m repro list'"
+        )
+
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        fast, full, _ = ARTEFACTS[name]
+        text = (full if args.full else fast)()
+        print(text)
+        print()
+        if args.out:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

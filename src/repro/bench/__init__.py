@@ -1,0 +1,14 @@
+"""Benchmark support: timing harness, FLOP accounting, table rendering."""
+
+from repro.bench.harness import time_callable, TimingResult
+from repro.bench.reporting import Table, format_table
+from repro.bench.flops import gflops, dense_equivalent
+
+__all__ = [
+    "time_callable",
+    "TimingResult",
+    "Table",
+    "format_table",
+    "gflops",
+    "dense_equivalent",
+]

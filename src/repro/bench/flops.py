@@ -1,0 +1,21 @@
+"""FLOP-rate helpers shared by the Table 2 / Fig 4 benches."""
+
+from __future__ import annotations
+
+__all__ = ["gflops", "dense_equivalent"]
+
+
+def gflops(flops: float, time_s: float) -> float:
+    """Achieved GFLOP/s."""
+    if time_s <= 0:
+        raise ValueError(f"time must be positive, got {time_s}")
+    return flops / time_s / 1e9
+
+
+def dense_equivalent(m: int, n: int, k: int, time_s: float) -> float:
+    """Dense-equivalent GFLOP/s for a sparse multiply (Table 2 convention).
+
+    The paper reports sparse columns as if the multiply had been dense —
+    hence starred entries exceeding the device peak.
+    """
+    return gflops(2.0 * m * n * k, time_s)

@@ -1,0 +1,66 @@
+"""Wall-clock timing harness for the numeric kernels.
+
+The paper stabilises measurements by iterating 1000 times and averaging;
+:func:`time_callable` implements the same protocol with warmup and
+adaptively fewer repeats for slow callables, and reports mean/std so benches
+can flag noisy measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["TimingResult", "time_callable"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Summary statistics of repeated timed calls."""
+
+    mean_s: float
+    std_s: float
+    min_s: float
+    repeats: int
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        return self.std_s / self.mean_s if self.mean_s > 0 else 0.0
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeats: int = 10,
+    warmup: int = 2,
+    max_total_s: float = 5.0,
+) -> TimingResult:
+    """Time ``fn()`` with warmup, capping total wall time.
+
+    The repeat count shrinks automatically when a single call would blow
+    the ``max_total_s`` budget (the profiling guides' ~10s sweet spot).
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    t0 = time.perf_counter()
+    fn()
+    first = time.perf_counter() - t0
+    if first > 0:
+        repeats = max(1, min(repeats, int(max_total_s / first)))
+    samples = [first]
+    for _ in range(repeats - 1):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    arr = np.asarray(samples)
+    return TimingResult(
+        mean_s=float(arr.mean()),
+        std_s=float(arr.std()),
+        min_s=float(arr.min()),
+        repeats=len(samples),
+    )

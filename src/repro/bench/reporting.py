@@ -1,0 +1,76 @@
+"""Plain-text table rendering for benchmark output.
+
+Every experiment driver prints through this so the regenerated tables and
+figure-series share one format (column alignment, float formatting, and a
+title/caption line referencing the paper artefact being reproduced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_table"]
+
+
+def _fmt(value, precision: int = 3) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 10.0 ** (-max(precision, 1)):
+            return f"{value:.3g}"
+        out = f"{value:,.{precision}f}"
+        if "." in out:
+            out = out.rstrip("0").rstrip(".")
+        return out or "0"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table accumulated row by row."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    precision: int = 3
+
+    def add_row(self, *values) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Render as aligned monospaced text."""
+        return format_table(
+            self.title, self.columns, self.rows, precision=self.precision
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(
+    title: str,
+    columns: list[str],
+    rows: list[list],
+    precision: int = 3,
+) -> str:
+    """Format rows as an aligned text table with a title rule."""
+    cells = [[_fmt(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    rule = "-" * len(header)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        for row in cells
+    ]
+    return "\n".join([title, rule, header, rule, *body, rule])

@@ -1,0 +1,98 @@
+"""Permutations underlying Cooley–Tukey and butterfly factorizations.
+
+Equation 2 of the paper factors a structured transform as block-diagonal
+mixing matrices times "some permutation"; for the FFT special case that
+permutation is even/odd separation, whose recursive closure is the
+bit-reversal permutation.  These routines construct and manipulate those
+permutations as index vectors (``perm[i]`` = source index of output ``i``,
+i.e. ``y = x[perm]``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_power_of_two, log2_int
+
+__all__ = [
+    "bit_reversal_permutation",
+    "stride_permutation",
+    "permutation_matrix",
+    "invert_permutation",
+    "compose_permutations",
+    "is_permutation",
+]
+
+
+def bit_reversal_permutation(n: int) -> np.ndarray:
+    """Bit-reversal permutation of length *n* (power of two).
+
+    ``perm[i]`` is ``i`` with its ``log2(n)`` bits reversed.  Applying it to
+    the input of a decimation-in-time butterfly network yields the DFT
+    (see :func:`repro.core.butterfly.fft_twiddle`).
+    """
+    log_n = log2_int(n)
+    perm = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(log_n):
+        rev = (rev << 1) | (perm & 1)
+        perm >>= 1
+    return rev
+
+
+def stride_permutation(n: int, stride: int) -> np.ndarray:
+    """Stride (perfect-shuffle) permutation ``L^n_s``.
+
+    Reads the input as a ``(stride, n // stride)`` row-major matrix and emits
+    it column-major — the even/odd separation of Eq. 1 is
+    ``stride_permutation(n, 2)``.
+    """
+    check_power_of_two(n)
+    if stride <= 0 or n % stride != 0:
+        raise ValueError(f"stride must divide n, got n={n} stride={stride}")
+    return (
+        np.arange(n, dtype=np.int64)
+        .reshape(n // stride, stride)
+        .T.reshape(-1)
+        .copy()
+    )
+
+
+def permutation_matrix(perm: np.ndarray, dtype: np.dtype = np.float64) -> np.ndarray:
+    """Dense matrix ``P`` with ``P @ x == x[perm]``."""
+    perm = np.asarray(perm)
+    n = len(perm)
+    mat = np.zeros((n, n), dtype=dtype)
+    mat[np.arange(n), perm] = 1
+    return mat
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``x[perm][inv] == x``."""
+    perm = np.asarray(perm)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(len(perm), dtype=perm.dtype)
+    return inv
+
+
+def compose_permutations(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Composition such that ``x[compose(p, q)] == x[q][p]``."""
+    outer = np.asarray(outer)
+    inner = np.asarray(inner)
+    if len(outer) != len(inner):
+        raise ValueError("permutations must have equal length")
+    return inner[outer]
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """True iff *perm* is a valid permutation of ``range(len(perm))``."""
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        return False
+    n = len(perm)
+    seen = np.zeros(n, dtype=bool)
+    valid = (perm >= 0) & (perm < n)
+    if not valid.all():
+        return False
+    seen[perm] = True
+    return bool(seen.all())

@@ -1,0 +1,254 @@
+"""Pixelated butterfly (pixelfly): flat block butterfly + low-rank terms.
+
+Chen et al. (2021) make the butterfly factorization GPU-friendly with two
+changes the paper's Fig 2 illustrates:
+
+* **Flat butterfly** — instead of *multiplying* the ``log n`` factors, take a
+  first-order (residual) approximation: ``prod(I + E_k) ~= I + sum(E_k)``.
+  The result is a *single* sparse matrix whose support is the union of the
+  factor supports — index pairs differing by exactly one power-of-two stride.
+* **Block butterfly** — apply the butterfly pattern to a grid of
+  ``block_size x block_size`` dense blocks rather than scalars, aligning the
+  nonzeros with GPU tile/tensor-core shapes.
+
+A low-rank term ``U V^T`` is added to recover the expressiveness lost by
+flattening.  The weight is therefore
+
+    ``W = scatter(blocks, mask) + U @ V^T``
+
+with ``mask`` the flat block-butterfly support over the block grid.
+
+Hyper-parameters (swept in the paper's Table 5):
+
+* ``butterfly_size`` — the size of the *virtual* butterfly whose factor
+  supports are flattened; it controls how many stride-bands the mask has
+  (``1 + log2(butterfly_size)`` bands including the diagonal).
+* ``block_size`` — the dense block edge length.
+* ``rank`` — columns of the low-rank factors ("low rank size").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import check_power_of_two, log2_int
+
+__all__ = [
+    "flat_butterfly_mask",
+    "block_butterfly_mask",
+    "PixelflyPattern",
+    "pixelfly_pattern",
+    "block_sparse_multiply",
+    "block_sparse_multiply_backward",
+    "blocks_to_dense",
+    "pixelfly_param_count",
+]
+
+
+def flat_butterfly_mask(n: int, n_levels: int | None = None) -> np.ndarray:
+    """Boolean ``(n, n)`` support of a flattened butterfly.
+
+    ``mask[i, j]`` is True iff ``i == j`` or ``i ^ j`` is a power of two
+    among the first *n_levels* strides — exactly the union of the supports of
+    the butterfly factors with strides ``1, 2, ..., 2**(n_levels-1)``.
+    With ``n_levels = log2(n)`` (the default) this is the support of the sum
+    of *all* factors.
+    """
+    check_power_of_two(n)
+    log_n = log2_int(n)
+    if n_levels is None:
+        n_levels = log_n
+    if not 0 <= n_levels <= log_n:
+        raise ValueError(f"n_levels must be in [0, {log_n}], got {n_levels}")
+    idx = np.arange(n)
+    diff = idx[:, None] ^ idx[None, :]
+    mask = diff == 0
+    for level in range(n_levels):
+        mask |= diff == (1 << level)
+    return mask
+
+
+def block_butterfly_mask(
+    n: int, block_size: int, butterfly_size: int | None = None
+) -> np.ndarray:
+    """Boolean block-grid mask of shape ``(n // bs, n // bs)``.
+
+    The flat-butterfly pattern of a virtual ``butterfly_size`` transform is
+    laid over the ``(n // block_size)`` grid: stride bands above the grid size
+    wrap modulo the grid (the virtual butterfly is larger than the physical
+    block grid), so growing ``butterfly_size`` monotonically densifies the
+    mask until it saturates.
+    """
+    check_power_of_two(n)
+    check_power_of_two(block_size, "block_size")
+    if block_size > n:
+        raise ValueError(f"block_size {block_size} exceeds n {n}")
+    nb = n // block_size
+    if butterfly_size is None:
+        butterfly_size = nb
+    check_power_of_two(butterfly_size, "butterfly_size")
+    levels = log2_int(butterfly_size)
+    idx = np.arange(nb)
+    diff = idx[:, None] ^ idx[None, :]
+    mask = diff == 0
+    for level in range(levels):
+        stride = (1 << level) % nb
+        if stride == 0:
+            # Virtual stride wraps to the diagonal; already covered.
+            continue
+        mask |= diff == stride
+    return mask
+
+
+@dataclass(frozen=True)
+class PixelflyPattern:
+    """Materialised pixelfly sparsity pattern for an ``n x n`` weight.
+
+    Attributes
+    ----------
+    n, block_size, butterfly_size, rank:
+        Hyper-parameters (see module docstring).
+    block_mask:
+        Boolean ``(nb, nb)`` grid mask.
+    block_rows, block_cols:
+        Index arrays of the active blocks, in row-major mask order — the
+        storage order of the packed block values.
+    """
+
+    n: int
+    block_size: int
+    butterfly_size: int
+    rank: int
+    block_mask: np.ndarray
+    block_rows: np.ndarray
+    block_cols: np.ndarray
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of active dense blocks."""
+        return int(len(self.block_rows))
+
+    @property
+    def nnz(self) -> int:
+        """Nonzeros contributed by the block-sparse term."""
+        return self.n_blocks * self.block_size**2
+
+    @property
+    def density(self) -> float:
+        """Block-sparse nnz as a fraction of the dense ``n * n``."""
+        return self.nnz / (self.n * self.n)
+
+    def sparse_params(self) -> int:
+        """Learnable parameters in the block-sparse term."""
+        return self.nnz
+
+    def lowrank_params(self) -> int:
+        """Learnable parameters in the ``U V^T`` term (``2 n rank``)."""
+        return 2 * self.n * self.rank
+
+    def total_params(self) -> int:
+        """All learnable parameters of the pixelfly weight."""
+        return self.sparse_params() + self.lowrank_params()
+
+
+def pixelfly_pattern(
+    n: int, block_size: int = 32, butterfly_size: int | None = None, rank: int = 1
+) -> PixelflyPattern:
+    """Build the :class:`PixelflyPattern` for the given hyper-parameters."""
+    mask = block_butterfly_mask(n, block_size, butterfly_size)
+    rows, cols = np.nonzero(mask)
+    if butterfly_size is None:
+        butterfly_size = n // block_size
+    if rank < 0:
+        raise ValueError(f"rank must be non-negative, got {rank}")
+    return PixelflyPattern(
+        n=n,
+        block_size=block_size,
+        butterfly_size=butterfly_size,
+        rank=rank,
+        block_mask=mask,
+        block_rows=rows.astype(np.int64),
+        block_cols=cols.astype(np.int64),
+    )
+
+
+def pixelfly_param_count(
+    n: int, block_size: int = 32, butterfly_size: int | None = None, rank: int = 1
+) -> int:
+    """Parameter count of a pixelfly weight without materialising blocks."""
+    return pixelfly_pattern(n, block_size, butterfly_size, rank).total_params()
+
+
+# ---------------------------------------------------------------------------
+# Block-sparse numerics
+# ---------------------------------------------------------------------------
+
+
+def block_sparse_multiply(
+    blocks: np.ndarray, pattern: PixelflyPattern, x: np.ndarray
+) -> np.ndarray:
+    """Compute rows ``y_i = W_sparse @ x_i`` for the packed block values.
+
+    ``blocks`` has shape ``(n_blocks, bs, bs)`` in the pattern's storage
+    order; ``x`` is ``(batch, n)`` (or 1-D).  The product gathers the input
+    block-columns, applies every dense block as a batched matmul, and
+    scatter-adds into the output block-rows — the same dataflow the device
+    simulators cost out.
+    """
+    bs = pattern.block_size
+    if blocks.shape != (pattern.n_blocks, bs, bs):
+        raise ValueError(
+            f"blocks must have shape ({pattern.n_blocks}, {bs}, {bs}), "
+            f"got {blocks.shape}"
+        )
+    x = np.asarray(x)
+    squeeze = x.ndim == 1
+    if squeeze:
+        x = x[None, :]
+    if x.shape[1] != pattern.n:
+        raise ValueError(f"x has {x.shape[1]} features, expected {pattern.n}")
+    batch = x.shape[0]
+    nb = pattern.n // bs
+    xb = x.reshape(batch, nb, bs)
+    # Gather input blocks per active block, multiply, scatter-add to rows.
+    gathered = xb[:, pattern.block_cols, :]  # (batch, n_blocks, bs)
+    partial = np.einsum("kij,bkj->bki", blocks, gathered, optimize=True)
+    out = np.zeros((batch, nb, bs), dtype=partial.dtype)
+    np.add.at(out, (slice(None), pattern.block_rows), partial)
+    out = out.reshape(batch, pattern.n)
+    return out[0] if squeeze else out
+
+
+def block_sparse_multiply_backward(
+    blocks: np.ndarray,
+    pattern: PixelflyPattern,
+    x: np.ndarray,
+    grad_out: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Backward of :func:`block_sparse_multiply`.
+
+    Returns ``(grad_blocks, grad_x)`` for 2-D ``x`` and ``grad_out``.
+    """
+    bs = pattern.block_size
+    batch = x.shape[0]
+    nb = pattern.n // bs
+    xb = x.reshape(batch, nb, bs)
+    gb = grad_out.reshape(batch, nb, bs)
+    g_rows = gb[:, pattern.block_rows, :]  # (batch, n_blocks, bs)
+    x_cols = xb[:, pattern.block_cols, :]
+    grad_blocks = np.einsum("bki,bkj->kij", g_rows, x_cols, optimize=True)
+    partial = np.einsum("kij,bki->bkj", blocks, g_rows, optimize=True)
+    grad_xb = np.zeros_like(xb)
+    np.add.at(grad_xb, (slice(None), pattern.block_cols), partial)
+    return grad_blocks, grad_xb.reshape(batch, pattern.n)
+
+
+def blocks_to_dense(blocks: np.ndarray, pattern: PixelflyPattern) -> np.ndarray:
+    """Expand packed block values to the dense ``(n, n)`` sparse term."""
+    bs = pattern.block_size
+    nb = pattern.n // bs
+    dense = np.zeros((nb, bs, nb, bs), dtype=blocks.dtype)
+    dense[pattern.block_rows, :, pattern.block_cols, :] = blocks
+    return dense.transpose(0, 1, 2, 3).reshape(nb * bs, nb * bs)

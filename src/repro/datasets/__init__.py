@@ -1,0 +1,32 @@
+"""Synthetic dataset substitutes for the paper's CIFAR-10 and MNIST tasks.
+
+See :mod:`repro.datasets.synthetic` for the generative model and the
+argument for why it preserves the Table 4 accuracy ordering.
+"""
+
+from repro.datasets.synthetic import (
+    SyntheticSpec,
+    make_classification,
+    planted_transform,
+)
+from repro.datasets.cifar10 import (
+    CIFAR10_DIM,
+    CIFAR10_CLASSES,
+    cifar10_spec,
+    load_cifar10,
+)
+from repro.datasets.mnist import MNIST_DIM, MNIST_CLASSES, mnist_spec, load_mnist
+
+__all__ = [
+    "SyntheticSpec",
+    "make_classification",
+    "planted_transform",
+    "CIFAR10_DIM",
+    "CIFAR10_CLASSES",
+    "cifar10_spec",
+    "load_cifar10",
+    "MNIST_DIM",
+    "MNIST_CLASSES",
+    "mnist_spec",
+    "load_mnist",
+]

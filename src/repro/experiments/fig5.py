@@ -1,0 +1,90 @@
+"""Fig 5 — how IPU graph structure and memory grow with problem size.
+
+Compiles poplin matmul graphs across square sizes and reports the PopVision
+quantities the paper plots: number of edges, variables, vertices, compute
+sets, and the remaining free memory.  Observation 3 — memory grows faster
+than the raw tensor footprint, driven by graph structure — falls out of the
+compiler's accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.reporting import Table
+from repro.ipu.compiler import GraphProfile, compile_graph
+from repro.ipu.machine import GC200, IPUSpec
+from repro.ipu.poplin import build_matmul_graph
+from repro.utils import MiB
+
+__all__ = ["Fig5Row", "default_sizes", "run", "render"]
+
+
+def default_sizes() -> list[int]:
+    """Square matmul sizes 2**5 .. 2**12."""
+    return [1 << e for e in range(5, 13)]
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One problem size's graph profile."""
+
+    n: int
+    profile: GraphProfile
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Total compiled memory / raw variable bytes."""
+        if self.profile.variable_bytes == 0:
+            return 0.0
+        return self.profile.total_bytes / self.profile.variable_bytes
+
+
+def run(
+    spec: IPUSpec = GC200, sizes: list[int] | None = None
+) -> list[Fig5Row]:
+    """Compile a poplin matmul per size and collect profiles."""
+    rows = []
+    for n in sizes or default_sizes():
+        graph, _ = build_matmul_graph(spec, n, n, n)
+        compiled = compile_graph(graph, spec, check_fit=False)
+        rows.append(Fig5Row(n=n, profile=compiled.profile()))
+    return rows
+
+
+def render(spec: IPUSpec = GC200) -> str:
+    """Text rendering of the Fig 5 series."""
+    table = Table(
+        title=(
+            "Fig 5: IPU matmul graph structure and memory vs problem size"
+        ),
+        columns=[
+            "N",
+            "variables",
+            "vertices",
+            "edges",
+            "compute sets",
+            "data (MiB)",
+            "total (MiB)",
+            "free (MiB)",
+            "overhead x",
+        ],
+    )
+    for row in run(spec):
+        p = row.profile
+        table.add_row(
+            row.n,
+            p.n_variables,
+            p.n_vertices,
+            p.n_edges,
+            p.n_compute_sets,
+            p.variable_bytes / MiB,
+            p.total_bytes / MiB,
+            p.free_bytes / MiB,
+            row.overhead_ratio,
+        )
+    return table.render()
+
+
+if __name__ == "__main__":
+    print(render())

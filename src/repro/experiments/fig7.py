@@ -1,0 +1,92 @@
+"""Fig 7 — compute sets and memory of butterfly vs pixelfly IPU graphs.
+
+The paper uses the PopVision Graph Analyzer to explain the Fig 6
+performance gap: the number of compute sets correlates with variables,
+edges and vertices, and those drive memory.  This sweep compiles the
+lowered forward graphs of both factorizations (plus linear for reference)
+and reports the same quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import nn
+from repro.bench.reporting import Table
+from repro.experiments.fig6 import FIG6_PIXELFLY
+from repro.ipu.compiler import GraphProfile
+from repro.ipu.machine import GC200, IPUSpec
+from repro.ipu.poptorch import IPUModule
+from repro.utils import MiB
+
+__all__ = ["Fig7Row", "default_sizes", "run", "render"]
+
+
+def default_sizes() -> list[int]:
+    """N = 2**7 .. 2**12."""
+    return [1 << e for e in range(7, 13)]
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """Graph profile of one layer type at one size."""
+
+    layer: str
+    n: int
+    profile: GraphProfile
+
+
+def run(
+    spec: IPUSpec = GC200, sizes: list[int] | None = None
+) -> list[Fig7Row]:
+    """Compile the three layer graphs per size and profile them."""
+    rows = []
+    for n in sizes or default_sizes():
+        layers = {
+            "linear": nn.Linear(n, n, bias=False, seed=0),
+            "butterfly": nn.ButterflyLinear(n, n, bias=False, seed=0),
+            "pixelfly": nn.PixelflyLinear(
+                n, bias=False, seed=0, **FIG6_PIXELFLY
+            ),
+        }
+        for name, layer in layers.items():
+            module = IPUModule(layer, in_features=n, batch=n, spec=spec)
+            rows.append(Fig7Row(layer=name, n=n, profile=module.profile()))
+    return rows
+
+
+def render(spec: IPUSpec = GC200, sizes: list[int] | None = None) -> str:
+    """Text rendering of the Fig 7 sweep."""
+    table = Table(
+        title=(
+            "Fig 7: IPU graph structure for linear/butterfly/pixelfly "
+            "(square problems)"
+        ),
+        columns=[
+            "layer",
+            "N",
+            "compute sets",
+            "vertices",
+            "edges",
+            "variables",
+            "total mem (MiB)",
+            "free (MiB)",
+        ],
+    )
+    for row in run(spec, sizes):
+        p = row.profile
+        table.add_row(
+            row.layer,
+            row.n,
+            p.n_compute_sets,
+            p.n_vertices,
+            p.n_edges,
+            p.n_variables,
+            p.total_bytes / MiB,
+            p.free_bytes / MiB,
+        )
+    return table.render()
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,241 @@
+"""Graph compilation: tile memory accounting and fit checking.
+
+This is where the paper's Observation 3 lives: *"overall memory usage for
+the IPU does not only depend on the problem size … there are additional
+effects"*.  Compiling a graph charges each tile for
+
+* its share of every variable's data,
+* per-vertex descriptor state,
+* per-edge exchange/copy code,
+* per-compute-set control code (on every participating tile),
+* per-codelet-type code, and
+* exchange receive buffers sized by the heaviest superstep.
+
+All but the first grow with graph *structure* (vertices, edges, compute
+sets) rather than tensor footprint — reproducing Fig 5's super-linear
+memory curves and the OOM that stops ``torch.nn.Linear`` before butterfly
+in Fig 6.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ipu.graph import Graph
+from repro.ipu.machine import IPUSpec
+from repro.utils import format_bytes
+
+__all__ = [
+    "IPUOutOfMemoryError",
+    "MemoryBreakdown",
+    "MemoryReport",
+    "GraphProfile",
+    "CompiledGraph",
+    "compile_graph",
+]
+
+
+class IPUOutOfMemoryError(RuntimeError):
+    """Raised when a compiled graph exceeds some tile's memory."""
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Aggregate bytes by category (summed over all tiles)."""
+
+    variables: float
+    vertex_state: float
+    edge_code: float
+    control_code: float
+    codelet_code: float
+    exchange_buffers: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.variables
+            + self.vertex_state
+            + self.edge_code
+            + self.control_code
+            + self.codelet_code
+            + self.exchange_buffers
+        )
+
+    @property
+    def overhead(self) -> float:
+        """Everything that is not raw tensor data."""
+        return self.total - self.variables
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Overhead / total (0 when the graph is empty)."""
+        return self.overhead / self.total if self.total > 0 else 0.0
+
+
+@dataclass
+class MemoryReport:
+    """Per-tile memory map plus totals for one compiled graph."""
+
+    spec: IPUSpec
+    per_tile_bytes: np.ndarray
+    breakdown: MemoryBreakdown
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.per_tile_bytes.sum())
+
+    @property
+    def peak_tile_bytes(self) -> float:
+        return float(self.per_tile_bytes.max()) if len(
+            self.per_tile_bytes
+        ) else 0.0
+
+    @property
+    def free_bytes(self) -> float:
+        """Remaining usable memory across the device (>= 0 per tile)."""
+        usable = self.spec.usable_tile_memory
+        return float(np.maximum(usable - self.per_tile_bytes, 0).sum())
+
+    @property
+    def fits(self) -> bool:
+        """True iff every tile fits in its usable memory."""
+        return bool(
+            (self.per_tile_bytes <= self.spec.usable_tile_memory).all()
+        )
+
+    def over_capacity_tiles(self) -> np.ndarray:
+        """Tile indices exceeding usable memory."""
+        return np.flatnonzero(
+            self.per_tile_bytes > self.spec.usable_tile_memory
+        )
+
+    def __str__(self) -> str:
+        b = self.breakdown
+        return (
+            f"MemoryReport(total={format_bytes(self.total_bytes)}, "
+            f"peak tile={format_bytes(self.peak_tile_bytes)}, "
+            f"free={format_bytes(self.free_bytes)}, "
+            f"variables={format_bytes(b.variables)}, "
+            f"overhead={format_bytes(b.overhead)} "
+            f"[{b.overhead_fraction:.0%}])"
+        )
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """The Fig 5 / Fig 7 quantities for one graph."""
+
+    n_variables: int
+    n_vertices: int
+    n_edges: int
+    n_compute_sets: int
+    variable_bytes: int
+    total_bytes: float
+    free_bytes: float
+    fits: bool
+
+
+@dataclass
+class CompiledGraph:
+    """A graph plus its compilation artefacts."""
+
+    graph: Graph
+    spec: IPUSpec
+    memory: MemoryReport
+    per_cs_tiles: list[set[int]] = field(default_factory=list)
+
+    def profile(self) -> GraphProfile:
+        """Summarise into the Fig 5 quantities."""
+        g = self.graph
+        return GraphProfile(
+            n_variables=g.n_variables,
+            n_vertices=g.n_vertices,
+            n_edges=g.n_edges,
+            n_compute_sets=g.n_compute_sets,
+            variable_bytes=g.variable_bytes(),
+            total_bytes=self.memory.total_bytes,
+            free_bytes=self.memory.free_bytes,
+            fits=self.memory.fits,
+        )
+
+
+def compile_graph(
+    graph: Graph, spec: IPUSpec, check_fit: bool = True
+) -> CompiledGraph:
+    """Account memory for *graph* on *spec*; optionally raise on OOM."""
+    if graph.n_tiles > spec.n_tiles:
+        raise ValueError(
+            f"graph built for {graph.n_tiles} tiles, spec has {spec.n_tiles}"
+        )
+    per_tile = np.zeros(spec.n_tiles, dtype=np.float64)
+
+    # Variable data, spread over each variable's home range.
+    var_total = 0.0
+    for var in graph.variables.values():
+        share = var.total_bytes / var.tile_span
+        per_tile[var.home_tile : var.home_tile + var.tile_span] += share
+        var_total += var.total_bytes
+
+    # Vertex state and edge code on the vertex's tile.
+    vertex_total = 0.0
+    edge_total = 0.0
+    codelets_per_tile: dict[int, set[str]] = defaultdict(set)
+    for vertex in graph.vertices:
+        per_tile[vertex.tile] += spec.vertex_state_bytes
+        vertex_total += spec.vertex_state_bytes
+        edge_bytes = vertex.n_edges * spec.edge_code_bytes
+        per_tile[vertex.tile] += edge_bytes
+        edge_total += edge_bytes
+        codelets_per_tile[vertex.tile].add(vertex.codelet)
+
+    # Codelet code: once per codelet type per tile that instantiates it.
+    codelet_total = 0.0
+    for tile, names in codelets_per_tile.items():
+        nbytes = len(names) * spec.codelet_code_bytes
+        per_tile[tile] += nbytes
+        codelet_total += nbytes
+
+    # Control code per compute set on each participating tile, and exchange
+    # receive buffers sized by the heaviest superstep per tile.
+    control_total = 0.0
+    per_cs_tiles: list[set[int]] = []
+    recv_peak = np.zeros(spec.n_tiles, dtype=np.float64)
+    for cs in graph.compute_sets:
+        tiles: set[int] = set()
+        recv_this = defaultdict(float)
+        for vertex in graph.vertices_in(cs):
+            tiles.add(vertex.tile)
+            recv_this[vertex.tile] += vertex.remote_input_bytes()
+        for tile in tiles:
+            per_tile[tile] += spec.cs_control_bytes
+            control_total += spec.cs_control_bytes
+        for tile, nbytes in recv_this.items():
+            recv_peak[tile] = max(recv_peak[tile], nbytes)
+        per_cs_tiles.append(tiles)
+    per_tile += recv_peak
+    exchange_total = float(recv_peak.sum())
+
+    breakdown = MemoryBreakdown(
+        variables=var_total,
+        vertex_state=vertex_total,
+        edge_code=edge_total,
+        control_code=control_total,
+        codelet_code=codelet_total,
+        exchange_buffers=exchange_total,
+    )
+    report = MemoryReport(
+        spec=spec, per_tile_bytes=per_tile, breakdown=breakdown
+    )
+    if check_fit and not report.fits:
+        bad = report.over_capacity_tiles()
+        raise IPUOutOfMemoryError(
+            f"graph {graph.name!r} exceeds tile memory on {len(bad)} tiles "
+            f"(peak {format_bytes(report.peak_tile_bytes)} vs usable "
+            f"{format_bytes(spec.usable_tile_memory)})"
+        )
+    return CompiledGraph(
+        graph=graph, spec=spec, memory=report, per_cs_tiles=per_cs_tiles
+    )

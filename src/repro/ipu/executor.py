@@ -1,0 +1,204 @@
+"""BSP execution engine: runs or time-estimates a compiled graph.
+
+Each compute set is one superstep: all participating tiles run their
+vertices (compute phase, bounded by the slowest tile), then the fabric
+moves every remote edge's data (exchange phase), then a global sync.
+Timing is therefore
+
+    ``t_cs = sync + max_tile(compute cycles)/f + exchange(max tile recv)``
+
+Copies and host I/O are separate program steps with their own costs.  The
+executor can run with numerics (validating the simulator against numpy) or
+as a pure estimate (for large sweeps).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ipu.compiler import CompiledGraph
+from repro.ipu.exchange import ExchangeModel
+from repro.ipu.vertices import CODELETS, vertex_cycles
+from repro.utils import format_seconds
+
+__all__ = ["StepTiming", "ExecutionReport", "Executor"]
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Time breakdown of one program step."""
+
+    name: str
+    kind: str
+    compute_s: float = 0.0
+    exchange_s: float = 0.0
+    sync_s: float = 0.0
+    host_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.exchange_s + self.sync_s + self.host_s
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregated timing of one program execution."""
+
+    steps: list[StepTiming] = field(default_factory=list)
+    engine_overhead_s: float = 0.0
+
+    @property
+    def compute_s(self) -> float:
+        return sum(s.compute_s for s in self.steps)
+
+    @property
+    def exchange_s(self) -> float:
+        return sum(s.exchange_s for s in self.steps)
+
+    @property
+    def sync_s(self) -> float:
+        return sum(s.sync_s for s in self.steps)
+
+    @property
+    def host_s(self) -> float:
+        return sum(s.host_s for s in self.steps)
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end time including the fixed engine-run overhead."""
+        return self.engine_overhead_s + sum(s.total_s for s in self.steps)
+
+    def __str__(self) -> str:
+        return (
+            f"ExecutionReport(total={format_seconds(self.total_s)}: "
+            f"compute={format_seconds(self.compute_s)}, "
+            f"exchange={format_seconds(self.exchange_s)}, "
+            f"sync={format_seconds(self.sync_s)}, "
+            f"host={format_seconds(self.host_s)}, "
+            f"overhead={format_seconds(self.engine_overhead_s)})"
+        )
+
+
+class Executor:
+    """Runs or estimates a :class:`CompiledGraph` program."""
+
+    def __init__(self, compiled: CompiledGraph) -> None:
+        self.compiled = compiled
+        self.spec = compiled.spec
+        self.graph = compiled.graph
+        self.exchange = ExchangeModel(self.spec)
+
+    # -- timing ---------------------------------------------------------------
+
+    def _compute_set_timing(self, cs_index: int) -> StepTiming:
+        cs = self.graph.compute_sets[cs_index]
+        cycles_per_tile: dict[int, float] = defaultdict(float)
+        recv_per_tile: dict[int, int] = defaultdict(int)
+        for vertex in self.graph.vertices_in(cs):
+            cycles_per_tile[vertex.tile] += vertex_cycles(vertex, self.spec)
+            recv_per_tile[vertex.tile] += vertex.remote_input_bytes()
+        compute_s = (
+            max(cycles_per_tile.values()) / self.spec.clock_hz
+            if cycles_per_tile
+            else 0.0
+        )
+        exchange_s = self.exchange.gather_time(
+            {t: b for t, b in recv_per_tile.items() if b > 0}
+        )
+        sync_s = self.spec.sync_cycles / self.spec.clock_hz
+        return StepTiming(
+            name=cs.name,
+            kind="compute",
+            compute_s=compute_s,
+            exchange_s=exchange_s,
+            sync_s=sync_s,
+        )
+
+    def _copy_timing(self, src: str, dst: str) -> StepTiming:
+        src_var = self.graph.variables[src]
+        dst_var = self.graph.variables[dst]
+        # Copy streams through the exchange; tiles move their shares in
+        # parallel, bounded by the most-loaded destination tile.
+        per_tile = src_var.total_bytes / dst_var.tile_span
+        exchange_s = self.exchange.gather_time({0: int(np.ceil(per_tile))})
+        sync_s = self.spec.sync_cycles / self.spec.clock_hz
+        return StepTiming(
+            name=f"copy {src}->{dst}",
+            kind="copy",
+            exchange_s=exchange_s,
+            sync_s=sync_s,
+        )
+
+    def _host_timing(self, var: str, kind: str) -> StepTiming:
+        nbytes = self.graph.variables[var].total_bytes
+        host_s = nbytes / self.spec.effective_host_bandwidth
+        return StepTiming(name=f"{kind} {var}", kind=kind, host_s=host_s)
+
+    def estimate(self) -> ExecutionReport:
+        """Time the program without executing numerics."""
+        report = ExecutionReport(
+            engine_overhead_s=self.spec.engine_run_overhead_s
+        )
+        for step in self.graph.program:
+            if step.kind == "compute":
+                report.steps.append(self._compute_set_timing(step.ref))
+            elif step.kind == "copy":
+                report.steps.append(self._copy_timing(*step.ref))
+            else:
+                report.steps.append(self._host_timing(step.ref, step.kind))
+        return report
+
+    # -- numeric execution -----------------------------------------------------
+
+    def run(
+        self, inputs: dict[str, np.ndarray]
+    ) -> tuple[dict[str, np.ndarray], ExecutionReport]:
+        """Execute the program numerically; returns (state, timing report).
+
+        Every variable gets a zero-initialised buffer unless supplied in
+        *inputs*.  Raises if the graph uses estimate-only codelets.
+        """
+        state: dict[str, np.ndarray] = {}
+        for name, var in self.graph.variables.items():
+            if name in inputs:
+                arr = np.asarray(inputs[name])
+                if arr.shape != var.shape:
+                    raise ValueError(
+                        f"input {name!r} has shape {arr.shape}, variable "
+                        f"expects {var.shape}"
+                    )
+                state[name] = arr.astype(np.float64, copy=True)
+            else:
+                state[name] = np.zeros(var.shape, dtype=np.float64)
+        unknown = {
+            v.codelet
+            for v in self.graph.vertices
+            if CODELETS.get(v.codelet) is None
+            or CODELETS[v.codelet].execute is None
+        }
+        if unknown:
+            raise RuntimeError(
+                f"graph uses estimate-only codelets {sorted(unknown)}; "
+                "numeric run is not available"
+            )
+        report = ExecutionReport(
+            engine_overhead_s=self.spec.engine_run_overhead_s
+        )
+        for step in self.graph.program:
+            if step.kind == "compute":
+                cs = self.graph.compute_sets[step.ref]
+                for vertex in self.graph.vertices_in(cs):
+                    CODELETS[vertex.codelet].execute(vertex, state)
+                report.steps.append(self._compute_set_timing(step.ref))
+            elif step.kind == "copy":
+                src, dst = step.ref
+                state[dst] = state[src].reshape(
+                    self.graph.variables[dst].shape
+                ).copy()
+                report.steps.append(self._copy_timing(src, dst))
+            else:
+                report.steps.append(self._host_timing(step.ref, step.kind))
+        return state, report

@@ -1,0 +1,261 @@
+"""Poplar-like dataflow graph: variables, vertices, edges, compute sets.
+
+IPU programs are graphs of *vertices* (codelet instances mapped to tiles)
+connected via *edges* to slices of *variables* (tensors spread over tile
+memory), grouped into *compute sets* executed as BSP supersteps.  The
+compiler (:mod:`repro.ipu.compiler`) accounts memory from exactly these
+objects — which is how the Fig 5 / Fig 7 "memory grows with vertices, edges
+and compute sets" behaviour arises structurally rather than by fiat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Variable", "Edge", "Vertex", "ComputeSet", "Graph", "ProgramStep"]
+
+
+@dataclass
+class Variable:
+    """A tensor spread across a contiguous range of tile memories.
+
+    ``home_tile``/``tile_span`` describe the layout: elements are split as
+    evenly as possible over ``tile_span`` tiles starting at ``home_tile``.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    element_bytes: int = 4
+    home_tile: int = 0
+    tile_span: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tile_span <= 0:
+            raise ValueError(f"tile_span must be positive, got {self.tile_span}")
+        if self.home_tile < 0:
+            raise ValueError(f"home_tile must be >= 0, got {self.home_tile}")
+
+    @property
+    def n_elements(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_elements * self.element_bytes
+
+    def bytes_on_tile(self, tile: int) -> float:
+        """Bytes of this variable homed on *tile* (even spread)."""
+        if self.home_tile <= tile < self.home_tile + self.tile_span:
+            return self.total_bytes / self.tile_span
+        return 0.0
+
+    def tiles(self) -> range:
+        """The tile range hosting this variable."""
+        return range(self.home_tile, self.home_tile + self.tile_span)
+
+
+@dataclass
+class Edge:
+    """A connection between a vertex port and (a slice of) a variable.
+
+    ``key`` is an optional numpy index expression for numeric execution;
+    ``n_elements`` is the element count the edge touches (used for exchange
+    and code-size accounting even when ``key`` is omitted).  ``local`` marks
+    edges whose data the planner placed on the consuming vertex's own tile,
+    exempting them from exchange cost.
+    """
+
+    var: str
+    n_elements: int
+    key: Any = None
+    local: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_elements < 0:
+            raise ValueError(f"n_elements must be >= 0, got {self.n_elements}")
+
+
+@dataclass
+class Vertex:
+    """A codelet instance mapped to one tile."""
+
+    codelet: str
+    tile: int
+    inputs: list[Edge] = field(default_factory=list)
+    outputs: list[Edge] = field(default_factory=list)
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.inputs) + len(self.outputs)
+
+    def input_bytes(self, element_bytes: int = 4) -> int:
+        """Total bytes read by this vertex."""
+        return sum(e.n_elements for e in self.inputs) * element_bytes
+
+    def remote_input_bytes(self, element_bytes: int = 4) -> int:
+        """Bytes that must cross the exchange to reach this vertex."""
+        return (
+            sum(e.n_elements for e in self.inputs if not e.local)
+            * element_bytes
+        )
+
+
+@dataclass
+class ComputeSet:
+    """A named group of vertices executed as one BSP superstep."""
+
+    name: str
+    vertex_ids: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ProgramStep:
+    """One step of the program: a compute set, a copy, or host I/O.
+
+    ``kind`` is one of ``'compute'`` (``ref`` = compute-set index),
+    ``'copy'`` (``ref`` = (src_var, dst_var)), ``'host_write'`` or
+    ``'host_read'`` (``ref`` = var name).
+    """
+
+    kind: str
+    ref: Any
+
+    _KINDS = ("compute", "copy", "host_write", "host_read")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown step kind {self.kind!r}")
+
+
+class Graph:
+    """A complete IPU program: variables + vertices + an execution program."""
+
+    def __init__(self, n_tiles: int, name: str = "graph") -> None:
+        if n_tiles <= 0:
+            raise ValueError(f"n_tiles must be positive, got {n_tiles}")
+        self.n_tiles = n_tiles
+        self.name = name
+        self.variables: dict[str, Variable] = {}
+        self.vertices: list[Vertex] = []
+        self.compute_sets: list[ComputeSet] = []
+        self.program: list[ProgramStep] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        element_bytes: int = 4,
+        home_tile: int = 0,
+        tile_span: int | None = None,
+    ) -> Variable:
+        """Register a variable; default layout spreads it over all tiles."""
+        if name in self.variables:
+            raise ValueError(f"variable {name!r} already exists")
+        if tile_span is None:
+            tile_span = self.n_tiles - home_tile
+        if home_tile + tile_span > self.n_tiles:
+            raise ValueError(
+                f"variable {name!r} layout [{home_tile}, "
+                f"{home_tile + tile_span}) exceeds {self.n_tiles} tiles"
+            )
+        var = Variable(
+            name=name,
+            shape=tuple(shape),
+            element_bytes=element_bytes,
+            home_tile=home_tile,
+            tile_span=tile_span,
+        )
+        self.variables[name] = var
+        return var
+
+    def add_vertex(self, compute_set: int, vertex: Vertex) -> int:
+        """Add *vertex* to the graph inside compute set index *compute_set*."""
+        if not 0 <= vertex.tile < self.n_tiles:
+            raise ValueError(
+                f"vertex tile {vertex.tile} out of range [0, {self.n_tiles})"
+            )
+        if not 0 <= compute_set < len(self.compute_sets):
+            raise ValueError(f"no compute set with index {compute_set}")
+        for edge in list(vertex.inputs) + list(vertex.outputs):
+            if edge.var not in self.variables:
+                raise ValueError(f"edge references unknown variable {edge.var!r}")
+        vid = len(self.vertices)
+        self.vertices.append(vertex)
+        self.compute_sets[compute_set].vertex_ids.append(vid)
+        return vid
+
+    def add_compute_set(self, name: str, schedule: bool = True) -> int:
+        """Create a compute set; optionally append it to the program."""
+        cs_id = len(self.compute_sets)
+        self.compute_sets.append(ComputeSet(name=name))
+        if schedule:
+            self.program.append(ProgramStep("compute", cs_id))
+        return cs_id
+
+    def add_copy(self, src: str, dst: str) -> None:
+        """Schedule an on-device copy between two variables."""
+        for name in (src, dst):
+            if name not in self.variables:
+                raise ValueError(f"unknown variable {name!r}")
+        if self.variables[src].n_elements != self.variables[dst].n_elements:
+            raise ValueError(
+                f"copy size mismatch: {src} has "
+                f"{self.variables[src].n_elements} elements, {dst} has "
+                f"{self.variables[dst].n_elements}"
+            )
+        self.program.append(ProgramStep("copy", (src, dst)))
+
+    def add_host_write(self, var: str) -> None:
+        """Schedule a host -> device stream of *var*."""
+        if var not in self.variables:
+            raise ValueError(f"unknown variable {var!r}")
+        self.program.append(ProgramStep("host_write", var))
+
+    def add_host_read(self, var: str) -> None:
+        """Schedule a device -> host stream of *var*."""
+        if var not in self.variables:
+            raise ValueError(f"unknown variable {var!r}")
+        self.program.append(ProgramStep("host_read", var))
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(v.n_edges for v in self.vertices)
+
+    @property
+    def n_compute_sets(self) -> int:
+        return len(self.compute_sets)
+
+    def variable_bytes(self) -> int:
+        """Total bytes of all variables."""
+        return sum(v.total_bytes for v in self.variables.values())
+
+    def vertices_in(self, cs: ComputeSet) -> list[Vertex]:
+        """The vertex objects of a compute set."""
+        return [self.vertices[vid] for vid in cs.vertex_ids]
+
+    def codelets_used(self) -> set[str]:
+        """Distinct codelet names instantiated anywhere in the graph."""
+        return {v.codelet for v in self.vertices}
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph({self.name!r}: {self.n_variables} vars, "
+            f"{self.n_vertices} vertices, {self.n_edges} edges, "
+            f"{self.n_compute_sets} compute sets)"
+        )

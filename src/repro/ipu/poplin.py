@@ -1,0 +1,480 @@
+"""poplin-style dense matmul planning for the IPU simulator.
+
+``choose_grid`` searches tile-partition grids ``(pm, pn, pk)`` balancing
+compute, exchange and per-tile memory — the role of poplibs' matmul planner.
+``build_matmul_graph`` then materialises the plan as a real
+:class:`~repro.ipu.graph.Graph`: one AMP partial-product vertex per grid
+cell, plus a reduction compute set when ``pk > 1``.
+
+Three variants mirror the paper's Table 2 columns:
+
+* ``poplin`` — planned AMP matmul (the fast path).
+* ``naive`` — scalar codelets, no AMP (the "IPU naive" column).
+* ``blocked`` — a hand-blocked implementation that stages operand blocks
+  through temporaries with explicit copy vertices and keeps per-phase
+  partials live; its copy traffic and temporary memory are why the paper's
+  Note 3 reports it suffering ("too much temporal data … many copies").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ipu.compiler import compile_graph
+from repro.ipu.exchange import ExchangeModel
+from repro.ipu.executor import ExecutionReport, Executor
+from repro.ipu.graph import Edge, Graph, Vertex
+from repro.ipu.machine import IPUSpec
+from repro.ipu.vertices import VERTEX_OVERHEAD_CYCLES
+
+__all__ = [
+    "MatMulPlan",
+    "choose_grid",
+    "emit_matmul",
+    "build_matmul_graph",
+    "build_blocked_matmul_graph",
+    "matmul_report",
+    "poptorch_matmul_report",
+]
+
+
+def _pow2_candidates(limit: int) -> list[int]:
+    """Powers of two from 1 up to *limit* (inclusive of the largest <=)."""
+    out = [1]
+    while out[-1] * 2 <= limit:
+        out.append(out[-1] * 2)
+    return out
+
+
+@dataclass(frozen=True)
+class MatMulPlan:
+    """A chosen partition grid and its per-tile chunk shapes.
+
+    The grid may have more cells than tiles: like real poplin, the schedule
+    then *serialises* — each tile runs several partial-product vertices over
+    consecutive supersteps, accumulating into its output chunk in place
+    (the AMP is an *accumulating* matrix product unit), so per-tile memory
+    stays bounded by one chunk set regardless of problem size.
+    """
+
+    m: int
+    n: int
+    k: int
+    pm: int
+    pn: int
+    pk: int
+    element_bytes: int = 4
+    n_tiles: int = 1472
+
+    @property
+    def chunk(self) -> tuple[int, int, int]:
+        """Per-vertex chunk (mt, nt, kt), ceil-divided."""
+        return (
+            math.ceil(self.m / self.pm),
+            math.ceil(self.n / self.pn),
+            math.ceil(self.k / self.pk),
+        )
+
+    @property
+    def cells(self) -> int:
+        """Total partial-product vertices."""
+        return self.pm * self.pn * self.pk
+
+    @property
+    def tiles_used(self) -> int:
+        """Distinct tiles hosting partial-product vertices."""
+        return min(self.pm * self.pn, self.n_tiles)
+
+    @property
+    def supersteps(self) -> int:
+        """Sequential compute sets needed to serialise the cells.
+
+        All ``pk`` k-chunks of an output cell stay on one tile (in-place
+        accumulation), so the serial depth is the per-tile vertex count.
+        """
+        ij = self.pm * self.pn
+        return math.ceil(ij / self.tiles_used) * self.pk
+
+    def tile_memory_bytes(self) -> int:
+        """Operand + output bytes a single tile must hold at once."""
+        mt, nt, kt = self.chunk
+        return self.element_bytes * (mt * kt + kt * nt + mt * nt)
+
+    def exchange_bytes_per_vertex(self) -> int:
+        """Operand bytes one partial-product vertex receives."""
+        mt, nt, kt = self.chunk
+        return self.element_bytes * (mt * kt + kt * nt)
+
+
+def _plan_time(plan: MatMulPlan, spec: IPUSpec) -> float:
+    """Cheap analytic estimate used only to rank candidate grids."""
+    mt, nt, kt = plan.chunk
+    amp_eff = min(1.0, kt / 16.0)
+    per_vertex_cycles = VERTEX_OVERHEAD_CYCLES + (
+        mt * nt * kt / (spec.amp_macs_per_cycle * max(amp_eff, 1e-3))
+    )
+    exchange = ExchangeModel(spec)
+    per_step_exchange = exchange.gather_time(
+        {0: plan.exchange_bytes_per_vertex()}
+    )
+    steps = plan.supersteps
+    sync_s = steps * spec.sync_cycles / spec.clock_hz
+    return (
+        steps * per_vertex_cycles / spec.clock_hz
+        + steps * per_step_exchange
+        + sync_s
+    )
+
+
+def choose_grid(
+    spec: IPUSpec, m: int, n: int, k: int, element_bytes: int = 4
+) -> MatMulPlan:
+    """Pick the fastest memory-feasible partition grid for a GEMM."""
+    if min(m, n, k) <= 0:
+        raise ValueError(f"matmul dims must be positive, got {(m, n, k)}")
+    budget = spec.usable_tile_memory * 0.8  # leave headroom for code/buffers
+    max_cells = 64 * spec.n_tiles
+    feasible: list[tuple[float, MatMulPlan]] = []
+    best_infeasible: tuple[float, MatMulPlan] | None = None
+    for pm in _pow2_candidates(m):
+        for pn in _pow2_candidates(n):
+            if pm * pn > max_cells:
+                break
+            for pk in _pow2_candidates(min(k, max_cells // (pm * pn))):
+                plan = MatMulPlan(
+                    m, n, k, pm, pn, pk, element_bytes, spec.n_tiles
+                )
+                if plan.tile_memory_bytes() <= budget:
+                    feasible.append((_plan_time(plan, spec), plan))
+                else:
+                    mem = plan.tile_memory_bytes()
+                    if best_infeasible is None or mem < best_infeasible[0]:
+                        best_infeasible = (mem, plan)
+    if feasible:
+        # Among near-optimal plans (within 10 % of the fastest), prefer the
+        # smallest grid: fewer vertices/edges means less code and control
+        # memory — the same economy real poplin applies, and the reason the
+        # Fig 5 graph statistics grow with problem size.
+        best_t = min(t for t, _ in feasible)
+        near = [p for t, p in feasible if t <= 1.10 * best_t]
+        return min(near, key=lambda p: p.cells)
+    # Nothing fits: return the least-bad plan; compile_graph will raise.
+    assert best_infeasible is not None
+    return best_infeasible[1]
+
+
+def _ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split [0, total) into *parts* near-even contiguous ranges."""
+    base = total // parts
+    rem = total % parts
+    out = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < rem else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+def emit_matmul(
+    graph: Graph,
+    spec: IPUSpec,
+    a: str,
+    b: str,
+    c: str,
+    m: int,
+    n: int,
+    k: int,
+    codelet: str = "MatMulPartialAMP",
+    plan: MatMulPlan | None = None,
+    name: str | None = None,
+) -> MatMulPlan:
+    """Emit a planned GEMM ``C = A @ B`` into an existing graph.
+
+    Variables *a* (m,k), *b* (k,n) and *c* (m,n) must already exist; a
+    partials variable is created when the plan splits ``k``.  Used both by
+    :func:`build_matmul_graph` and by the PopTorch-style layer lowering in
+    :mod:`repro.ipu.poptorch`.
+    """
+    if plan is None:
+        plan = choose_grid(spec, m, n, k)
+    name = name or f"{c}_mm"
+
+    row_ranges = _ranges(m, plan.pm)
+    col_ranges = _ranges(n, plan.pn)
+    k_ranges = _ranges(k, plan.pk)
+
+    # Serialised schedule: all k-chunks of an output cell share a tile and
+    # accumulate in place; each tile's vertices are spread over sequential
+    # compute sets so only one chunk set is live per superstep.
+    compute_sets: list[int] = []
+    vertices_on_tile: dict[int, int] = {}
+    for ij_index, ((i0, i1), (j0, j1)) in enumerate(
+        ((r, c_) for r in row_ranges for c_ in col_ranges)
+    ):
+        tile = ij_index % plan.tiles_used
+        for kk, (k0, k1) in enumerate(k_ranges):
+            step = vertices_on_tile.get(tile, 0)
+            vertices_on_tile[tile] = step + 1
+            while step >= len(compute_sets):
+                compute_sets.append(
+                    graph.add_compute_set(
+                        f"{name}/partials{len(compute_sets)}"
+                    )
+                )
+            graph.add_vertex(
+                compute_sets[step],
+                Vertex(
+                    codelet=codelet,
+                    tile=tile,
+                    inputs=[
+                        Edge(
+                            a,
+                            (i1 - i0) * (k1 - k0),
+                            key=(slice(i0, i1), slice(k0, k1)),
+                        ),
+                        Edge(
+                            b,
+                            (k1 - k0) * (j1 - j0),
+                            key=(slice(k0, k1), slice(j0, j1)),
+                        ),
+                    ],
+                    outputs=[
+                        Edge(
+                            c,
+                            (i1 - i0) * (j1 - j0),
+                            key=(slice(i0, i1), slice(j0, j1)),
+                            local=True,
+                        )
+                    ],
+                    params={
+                        "m": i1 - i0,
+                        "n": j1 - j0,
+                        "k": k1 - k0,
+                        "accumulate": kk > 0,
+                    },
+                ),
+            )
+    return plan
+
+
+def build_matmul_graph(
+    spec: IPUSpec,
+    m: int,
+    n: int,
+    k: int,
+    codelet: str = "MatMulPartialAMP",
+    plan: MatMulPlan | None = None,
+    host_io: bool = False,
+    name: str = "matmul",
+) -> tuple[Graph, MatMulPlan]:
+    """Materialise a planned GEMM as a standalone executable IPU graph.
+
+    Variables: ``A (m,k)``, ``B (k,n)``, ``C (m,n)`` spread over all tiles,
+    plus partials when the plan splits ``k``.  With ``host_io=True`` the
+    program also streams A/B in and C out (the PopTorch measurement mode of
+    the paper's Note 4).
+    """
+    graph = Graph(spec.n_tiles, name=name)
+    graph.add_variable("A", (m, k))
+    graph.add_variable("B", (k, n))
+    graph.add_variable("C", (m, n))
+    if host_io:
+        graph.add_host_write("A")
+        graph.add_host_write("B")
+    plan = emit_matmul(
+        graph, spec, "A", "B", "C", m, n, k, codelet=codelet, plan=plan,
+        name=name,
+    )
+    if host_io:
+        graph.add_host_read("C")
+    return graph, plan
+
+
+def build_blocked_matmul_graph(
+    spec: IPUSpec,
+    m: int,
+    n: int,
+    k: int,
+    block: int = 128,
+    name: str = "blocked_matmul",
+) -> Graph:
+    """The paper's hand-blocked variant: staged copies + live partials.
+
+    Each k-phase first *copies* its operand panels into temporaries
+    (distributed Copy vertices — a full extra superstep of exchange per
+    phase), then computes partials into a per-phase slab that stays live
+    until the final reduction.  Both the copies and the ``phases x m x n``
+    partials are deliberate: they model why the paper measured only
+    93 GFLOPS for this variant (Note 3).
+    """
+    if block <= 0:
+        raise ValueError(f"block must be positive, got {block}")
+    phases = math.ceil(k / block)
+    pm_b = math.ceil(m / block)
+    pn_b = math.ceil(n / block)
+    graph = Graph(spec.n_tiles, name=name)
+    graph.add_variable("A", (m, k))
+    graph.add_variable("B", (k, n))
+    graph.add_variable("C", (m, n))
+    graph.add_variable("tmpA", (m, block))
+    graph.add_variable("tmpB", (block, n))
+    # The phase-partial slab stays live until the final reduce — the
+    # "too much temporal data" of the paper's Note 3.
+    graph.add_variable("P", (phases, m, n))
+
+    row_ranges = _ranges(m, pm_b)
+    col_ranges = _ranges(n, pn_b)
+
+    def block_tile(bi: int, bj: int) -> int:
+        return (bi * pn_b + bj) % spec.n_tiles
+
+    for phase in range(phases):
+        k0 = phase * block
+        k1 = min(k0 + block, k)
+        kb = k1 - k0
+        # Stage the operand panels through temporaries: a full extra
+        # superstep of exchange per phase ("many copies taking place").
+        cs_copy = graph.add_compute_set(f"{name}/copy_in_{phase}")
+        for bi, (i0, i1) in enumerate(row_ranges):
+            graph.add_vertex(
+                cs_copy,
+                Vertex(
+                    codelet="Copy",
+                    tile=block_tile(bi, 0),
+                    inputs=[
+                        Edge(
+                            "A",
+                            (i1 - i0) * kb,
+                            key=(slice(i0, i1), slice(k0, k1)),
+                        )
+                    ],
+                    outputs=[
+                        Edge(
+                            "tmpA",
+                            (i1 - i0) * kb,
+                            key=(slice(i0, i1), slice(0, kb)),
+                        )
+                    ],
+                ),
+            )
+        for bj, (j0, j1) in enumerate(col_ranges):
+            graph.add_vertex(
+                cs_copy,
+                Vertex(
+                    codelet="Copy",
+                    tile=block_tile(0, bj),
+                    inputs=[
+                        Edge(
+                            "B",
+                            kb * (j1 - j0),
+                            key=(slice(k0, k1), slice(j0, j1)),
+                        )
+                    ],
+                    outputs=[
+                        Edge(
+                            "tmpB",
+                            kb * (j1 - j0),
+                            key=(slice(0, kb), slice(j0, j1)),
+                        )
+                    ],
+                ),
+            )
+        cs_mm = graph.add_compute_set(f"{name}/mm_{phase}")
+        for bi, (i0, i1) in enumerate(row_ranges):
+            for bj, (j0, j1) in enumerate(col_ranges):
+                graph.add_vertex(
+                    cs_mm,
+                    Vertex(
+                        # A hand-written codelet drives neither the AMP
+                        # pipeline nor the SIMD path (the paper's blocked
+                        # variant performs below even the naive one:
+                        # Table 2's 93 vs 525 GFLOPS).
+                        codelet="MatMulPartialScalar",
+                        tile=block_tile(bi, bj),
+                        inputs=[
+                            Edge(
+                                "tmpA",
+                                (i1 - i0) * kb,
+                                key=(slice(i0, i1), slice(0, kb)),
+                            ),
+                            Edge(
+                                "tmpB",
+                                kb * (j1 - j0),
+                                key=(slice(0, kb), slice(j0, j1)),
+                            ),
+                        ],
+                        outputs=[
+                            Edge(
+                                "P",
+                                (i1 - i0) * (j1 - j0),
+                                key=(
+                                    phase,
+                                    slice(i0, i1),
+                                    slice(j0, j1),
+                                ),
+                                local=True,
+                            )
+                        ],
+                        params={
+                            "m": i1 - i0,
+                            "n": j1 - j0,
+                            "k": kb,
+                        },
+                    ),
+                )
+
+    cs_red = graph.add_compute_set(f"{name}/reduce")
+    for bi, (i0, i1) in enumerate(row_ranges):
+        for bj, (j0, j1) in enumerate(col_ranges):
+            elements = (i1 - i0) * (j1 - j0)
+            graph.add_vertex(
+                cs_red,
+                Vertex(
+                    codelet="ReduceAdd",
+                    tile=block_tile(bi, bj),
+                    inputs=[
+                        Edge(
+                            "P",
+                            elements,
+                            key=(phase, slice(i0, i1), slice(j0, j1)),
+                            local=True,
+                        )
+                        for phase in range(phases)
+                    ],
+                    outputs=[
+                        Edge(
+                            "C",
+                            elements,
+                            key=(slice(i0, i1), slice(j0, j1)),
+                            local=True,
+                        )
+                    ],
+                ),
+            )
+    return graph
+
+
+def matmul_report(
+    spec: IPUSpec,
+    m: int,
+    n: int,
+    k: int,
+    codelet: str = "MatMulPartialAMP",
+    host_io: bool = False,
+    check_fit: bool = True,
+) -> ExecutionReport:
+    """Plan, compile and time a GEMM; convenience wrapper for benches."""
+    graph, _ = build_matmul_graph(
+        spec, m, n, k, codelet=codelet, host_io=host_io
+    )
+    compiled = compile_graph(graph, spec, check_fit=check_fit)
+    return Executor(compiled).estimate()
+
+
+def poptorch_matmul_report(
+    spec: IPUSpec, m: int, n: int, k: int
+) -> ExecutionReport:
+    """The PopTorch measurement mode: matmul time *including* host copies."""
+    return matmul_report(spec, m, n, k, host_io=True)

@@ -1,0 +1,81 @@
+"""PopVision-style reporting: graph/memory profiles over problem sweeps.
+
+The paper reads these quantities off the PopVision Graph Analyzer (Figs 5
+and 7): number of variables, edges, vertices and compute sets, and the
+resulting memory consumption / remaining free memory.  This module renders
+the simulator's equivalents as text tables and provides the sweep drivers
+the figures are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ipu.compiler import CompiledGraph, GraphProfile, compile_graph
+from repro.ipu.graph import Graph
+from repro.ipu.machine import IPUSpec
+from repro.utils import format_bytes
+
+__all__ = [
+    "ProfilePoint",
+    "profile_graph",
+    "sweep_profiles",
+    "render_profile_table",
+]
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """A (problem size, graph profile) pair of a sweep."""
+
+    label: str
+    size: int
+    profile: GraphProfile
+
+
+def profile_graph(graph: Graph, spec: IPUSpec) -> GraphProfile:
+    """Compile without fit enforcement and return the Fig 5 quantities."""
+    compiled: CompiledGraph = compile_graph(graph, spec, check_fit=False)
+    return compiled.profile()
+
+
+def sweep_profiles(
+    spec: IPUSpec,
+    sizes: list[int],
+    builder: Callable[[IPUSpec, int], Graph],
+    label: str = "",
+) -> list[ProfilePoint]:
+    """Profile ``builder(spec, size)`` graphs across *sizes*."""
+    points = []
+    for size in sizes:
+        graph = builder(spec, size)
+        points.append(
+            ProfilePoint(
+                label=label or graph.name,
+                size=size,
+                profile=profile_graph(graph, spec),
+            )
+        )
+    return points
+
+
+def render_profile_table(points: list[ProfilePoint]) -> str:
+    """Text table of a profile sweep (the Fig 5 series)."""
+    header = (
+        f"{'size':>8} {'vars':>7} {'vertices':>9} {'edges':>9} "
+        f"{'compute sets':>13} {'data':>12} {'total mem':>12} "
+        f"{'free mem':>12} {'fits':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        pr = p.profile
+        lines.append(
+            f"{p.size:>8} {pr.n_variables:>7} {pr.n_vertices:>9} "
+            f"{pr.n_edges:>9} {pr.n_compute_sets:>13} "
+            f"{format_bytes(pr.variable_bytes):>12} "
+            f"{format_bytes(pr.total_bytes):>12} "
+            f"{format_bytes(pr.free_bytes):>12} "
+            f"{'yes' if pr.fits else 'NO':>5}"
+        )
+    return "\n".join(lines)

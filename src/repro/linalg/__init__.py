@@ -1,0 +1,28 @@
+"""Dense and sparse linear-algebra substrate.
+
+This package provides the matrix representations the paper's Section 3
+benchmarks exercise: from-scratch CSR and COO sparse formats, cache-blocked
+dense matmul, and skewed-shape utilities.  The device simulators
+(:mod:`repro.ipu`, :mod:`repro.gpu`) consume these for both numerics and
+cost accounting.
+"""
+
+from repro.linalg.sparse import CSRMatrix, COOMatrix, random_sparse, sparsity
+from repro.linalg.dense import matmul_flops, matmul_bytes, dense_matmul
+from repro.linalg.blocked import blocked_matmul, block_grid
+from repro.linalg.skewed import skew_ratio, skewed_shapes, equal_flops_shapes
+
+__all__ = [
+    "CSRMatrix",
+    "COOMatrix",
+    "random_sparse",
+    "sparsity",
+    "matmul_flops",
+    "matmul_bytes",
+    "dense_matmul",
+    "blocked_matmul",
+    "block_grid",
+    "skew_ratio",
+    "skewed_shapes",
+    "equal_flops_shapes",
+]

@@ -1,0 +1,60 @@
+"""Skewed-shape utilities for the Fig 4 experiment.
+
+The paper defines the skewness of ``A(m x n) @ B(n x k)`` as ``s = m / n``
+and sweeps it at (approximately) constant arithmetic work, showing the GPU
+losing throughput at high aspect ratios while the IPU stays flat.  These
+helpers build that sweep: shape families with a fixed FLOP budget and varying
+skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["skew_ratio", "skewed_shapes", "equal_flops_shapes"]
+
+
+def skew_ratio(m: int, n: int) -> float:
+    """Paper's skewness ``s = m / n`` for the left operand of a GEMM."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return m / n
+
+
+def skewed_shapes(base: int, exponent: int) -> tuple[int, int, int]:
+    """Shape ``(m, n, k)`` with skew ``2**exponent`` around a square *base*.
+
+    Positive exponents stretch ``m`` (tall A), negative stretch ``n`` (wide A);
+    ``k`` tracks ``n`` so B stays square-ish, matching the paper's setup of
+    skewing one operand.
+    """
+    if base <= 0:
+        raise ValueError(f"base must be positive, got {base}")
+    if exponent >= 0:
+        m = base << exponent
+        n = base
+    else:
+        m = base
+        n = base << (-exponent)
+    return m, n, n
+
+
+def equal_flops_shapes(
+    flops_budget: int, exponents: list[int] | np.ndarray
+) -> list[tuple[int, int, int]]:
+    """Shapes ``(m, n, k)`` with skew ``2**e`` each, all near *flops_budget*.
+
+    For skew ``s = m/n`` with ``k = n``, FLOPs ``= 2 m n k = 2 s n^3``, so we
+    solve for ``n`` per exponent and round to an even integer.  Exact FLOP
+    equality is impossible with integer shapes; callers normalise by the
+    realised FLOPs (as GFLOP/s plots do anyway).
+    """
+    if flops_budget <= 0:
+        raise ValueError(f"flops_budget must be positive, got {flops_budget}")
+    shapes: list[tuple[int, int, int]] = []
+    for e in exponents:
+        s = 2.0 ** float(e)
+        n = max(2, int(round((flops_budget / (2.0 * s)) ** (1.0 / 3.0))))
+        m = max(1, int(round(s * n)))
+        shapes.append((m, n, n))
+    return shapes

@@ -1,0 +1,92 @@
+"""Datasets, loaders and splits.
+
+Mirrors the paper's data handling: mini-batches of 50, a 15 % validation
+split carved from the training set (Table 3), deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils import as_rng
+
+__all__ = ["ArrayDataset", "DataLoader", "train_val_split"]
+
+
+@dataclass
+class ArrayDataset:
+    """A supervised dataset held as parallel numpy arrays."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"x and y lengths differ: {len(self.x)} vs {len(self.y)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Dataset restricted to *indices* (copy-free fancy-index views)."""
+        return ArrayDataset(self.x[indices], self.y[indices])
+
+
+def train_val_split(
+    dataset: ArrayDataset,
+    val_fraction: float = 0.15,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Shuffle and split off a validation fraction (paper: 15 %)."""
+    if not 0.0 <= val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in [0, 1), got {val_fraction}")
+    rng = as_rng(seed)
+    n = len(dataset)
+    perm = rng.permutation(n)
+    n_val = int(round(val_fraction * n))
+    return dataset.subset(perm[n_val:]), dataset.subset(perm[:n_val])
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling.
+
+    Iterating yields ``(x_batch, y_batch)`` numpy pairs.  Reshuffles each
+    epoch from its own generator so epochs differ but runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 50,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = as_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        end = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            yield self.dataset.x[idx], self.dataset.y[idx]

@@ -1,0 +1,15 @@
+"""Structured-matrix replacements for dense Linear layers (Table 4 methods)."""
+
+from repro.nn.structured.butterfly import ButterflyLinear
+from repro.nn.structured.pixelfly import PixelflyLinear
+from repro.nn.structured.fastfood import FastfoodLinear
+from repro.nn.structured.circulant import CirculantLinear
+from repro.nn.structured.lowrank import LowRankLinear
+
+__all__ = [
+    "ButterflyLinear",
+    "PixelflyLinear",
+    "FastfoodLinear",
+    "CirculantLinear",
+    "LowRankLinear",
+]

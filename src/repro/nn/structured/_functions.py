@@ -1,0 +1,97 @@
+"""Custom autograd Functions for the structured transforms.
+
+Each wraps a :mod:`repro.core` fast path with its hand-derived backward, so
+the layers get ``O(n log n)`` gradients instead of materialising dense
+weights.  Every backward here is validated against finite differences in
+``tests/nn/test_structured_grads.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.butterfly import (
+    butterfly_multiply_backward,
+    butterfly_multiply_with_intermediates,
+)
+from repro.core.circulant import circulant_multiply, circulant_multiply_backward
+from repro.core.fastfood import fwht
+from repro.core.pixelfly import (
+    PixelflyPattern,
+    block_sparse_multiply,
+    block_sparse_multiply_backward,
+)
+from repro.nn.functional import Function
+
+__all__ = [
+    "ButterflyMultiplyFn",
+    "BlockSparseMultiplyFn",
+    "CirculantMultiplyFn",
+    "FWHTFn",
+]
+
+
+class ButterflyMultiplyFn(Function):
+    """``y = B(twiddle) @ x`` rows-wise, O(n log n) forward and backward."""
+
+    def forward(
+        self, twiddle: np.ndarray, x: np.ndarray, increasing_stride: bool = True
+    ) -> np.ndarray:
+        y, inputs = butterfly_multiply_with_intermediates(
+            twiddle, x, increasing_stride
+        )
+        self.twiddle = twiddle
+        self.inputs = inputs
+        self.increasing_stride = increasing_stride
+        return y
+
+    def backward(self, grad: np.ndarray):
+        grad_twiddle, grad_x = butterfly_multiply_backward(
+            self.twiddle, self.inputs, grad, self.increasing_stride
+        )
+        return grad_twiddle, grad_x, None
+
+
+class BlockSparseMultiplyFn(Function):
+    """Block-sparse product against a fixed :class:`PixelflyPattern`."""
+
+    def forward(
+        self, blocks: np.ndarray, x: np.ndarray, pattern: PixelflyPattern
+    ) -> np.ndarray:
+        self.blocks = blocks
+        self.x = x
+        self.pattern = pattern
+        return block_sparse_multiply(blocks, pattern, x)
+
+    def backward(self, grad: np.ndarray):
+        grad_blocks, grad_x = block_sparse_multiply_backward(
+            self.blocks, self.pattern, self.x, grad
+        )
+        return grad_blocks, grad_x, None
+
+
+class CirculantMultiplyFn(Function):
+    """FFT-fast circulant product ``y_i = C(c) x_i``."""
+
+    def forward(self, c: np.ndarray, x: np.ndarray) -> np.ndarray:
+        self.c = c
+        self.x = x
+        return circulant_multiply(c, x)
+
+    def backward(self, grad: np.ndarray):
+        grad_c, grad_x = circulant_multiply_backward(self.c, self.x, grad)
+        return grad_c, grad_x
+
+
+class FWHTFn(Function):
+    """Normalised fast Walsh–Hadamard transform along the last axis.
+
+    ``H`` is symmetric and (normalised) involutive, so the backward pass is
+    simply the transform applied to the incoming gradient.
+    """
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return fwht(x, normalized=True)
+
+    def backward(self, grad: np.ndarray):
+        return (fwht(grad, normalized=True),)

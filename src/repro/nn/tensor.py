@@ -1,0 +1,214 @@
+"""Reverse-mode autograd tensor.
+
+PyTorch is unavailable in this environment, so the training experiments run
+on this from-scratch engine: a :class:`Tensor` wraps a numpy array and
+records a backward graph of :class:`~repro.nn.functional.Function`
+applications; :meth:`Tensor.backward` walks the graph in reverse topological
+order accumulating gradients into leaf tensors.
+
+Design notes
+------------
+* Gradients are plain numpy arrays (no grad-of-grad support — the paper's
+  experiments only need first-order training).
+* Broadcasting follows numpy semantics; each Function un-broadcasts its
+  input gradients (see :func:`repro.nn.functional.unbroadcast`).
+* Operator methods (``+``, ``@``, ``.relu()`` …) are installed onto
+  :class:`Tensor` by :mod:`repro.nn.functional` at import time, keeping the
+  op zoo in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph recording (for eval / inference)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """True while graph recording is active."""
+    return _GRAD_ENABLED
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode automatic differentiation."""
+
+    __array_priority__ = 1000  # make numpy defer to our reflected ops
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        dtype: np.dtype | None = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data, dtype=dtype)
+        if requires_grad and not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.requires_grad: bool = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        # Backward-graph bookkeeping (set by Function.apply).
+        self._ctx = None  # the Function instance that produced this tensor
+        self._parents: tuple[Tensor, ...] = ()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if this tensor was not produced by a recorded Function."""
+        return self._ctx is None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, threshold=8)}{grad_flag})"
+
+    # -- conversions --------------------------------------------------------
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        """Python scalar for 1-element tensors."""
+        return float(self.data.reshape(-1)[0]) if self.size == 1 else _raise(
+            ValueError(f"item() requires a 1-element tensor, got {self.shape}")
+        )
+
+    def detach(self) -> "Tensor":
+        """A new leaf tensor sharing data, cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # -- gradient machinery --------------------------------------------------
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        For non-scalar tensors an explicit output gradient must be provided.
+        Gradients accumulate (+=) into ``.grad`` of every reachable leaf with
+        ``requires_grad=True``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that has no grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match tensor shape "
+                f"{self.shape}"
+            )
+
+        # Reverse topological order over the recorded graph.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.is_leaf:
+                node.grad = (
+                    node_grad if node.grad is None else node.grad + node_grad
+                )
+                continue
+            parent_grads = node._ctx.parent_grads(node_grad)
+            if len(parent_grads) != len(node._parents):
+                raise RuntimeError(
+                    f"{type(node._ctx).__name__}.backward returned "
+                    f"{len(parent_grads)} gradients for {len(node._parents)} "
+                    "inputs"
+                )
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                pgrad = np.asarray(pgrad)
+                if pgrad.shape != parent.data.shape:
+                    raise RuntimeError(
+                        f"{type(node._ctx).__name__} produced gradient of "
+                        f"shape {pgrad.shape} for input of shape "
+                        f"{parent.shape}"
+                    )
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+
+class Parameter(Tensor):
+    """A trainable tensor — ``requires_grad=True`` and float dtype."""
+
+    def __init__(self, data, dtype: np.dtype | None = None) -> None:
+        super().__init__(data, requires_grad=True, dtype=dtype)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, dtype={self.dtype})"
+
+
+def _raise(exc: Exception):
+    raise exc
+
+
+# Install the operator / method zoo onto Tensor.  The import is at module
+# bottom on purpose: functional.py imports Tensor from here, and by this
+# point the class object exists, so the circular import resolves cleanly.
+from repro.nn import functional as _functional  # noqa: E402,F401

@@ -1,0 +1,131 @@
+"""Training loop with wall-clock and simulated-device timing.
+
+The Table 4 experiment needs three times per model: wall-clock (host), and
+the *simulated* per-step times on the GPU (TC on/off) and IPU models.  The
+trainer therefore accepts ``step_time_models`` — callables mapping a batch
+size to seconds-per-training-step on some device — and integrates them over
+the steps actually executed, exactly like the paper integrates measured
+layer times over its training run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.data import DataLoader
+from repro.nn.losses import accuracy, cross_entropy
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics plus integrated device times."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    steps: int = 0
+    device_time_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        """Validation accuracy after the last epoch (0.0 if no val set)."""
+        return self.val_accuracy[-1] if self.val_accuracy else 0.0
+
+
+class Trainer:
+    """Minimal supervised-classification training driver."""
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn: Callable[[Tensor, np.ndarray], Tensor] = cross_entropy,
+        step_time_models: dict[str, Callable[[int], float]] | None = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.step_time_models = step_time_models or {}
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """One optimisation step; returns (loss, accuracy) on the batch."""
+        self.model.train()
+        self.optimizer.zero_grad()
+        logits = self.model(Tensor(x))
+        loss = self.loss_fn(logits, y)
+        loss.backward()
+        self.optimizer.step()
+        return loss.item(), accuracy(logits, y)
+
+    def evaluate(self, loader: DataLoader) -> tuple[float, float]:
+        """Mean loss and accuracy over *loader* without recording a graph."""
+        self.model.eval()
+        total_loss = 0.0
+        correct = 0.0
+        count = 0
+        with no_grad():
+            for x, y in loader:
+                logits = self.model(Tensor(x))
+                loss = self.loss_fn(logits, y)
+                total_loss += loss.item() * len(y)
+                correct += accuracy(logits, y) * len(y)
+                count += len(y)
+        if count == 0:
+            return 0.0, 0.0
+        return total_loss / count, correct / count
+
+    def fit(
+        self,
+        train_loader: DataLoader,
+        val_loader: DataLoader | None = None,
+        epochs: int = 1,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for *epochs* and return the collected history."""
+        history = TrainingHistory()
+        t0 = time.perf_counter()
+        for epoch in range(epochs):
+            losses: list[float] = []
+            accs: list[float] = []
+            for x, y in train_loader:
+                loss, acc = self.train_step(x, y)
+                losses.append(loss)
+                accs.append(acc)
+                history.steps += 1
+                for name, model in self.step_time_models.items():
+                    history.device_time_s[name] = history.device_time_s.get(
+                        name, 0.0
+                    ) + model(len(y))
+            history.train_loss.append(float(np.mean(losses)) if losses else 0.0)
+            history.train_accuracy.append(
+                float(np.mean(accs)) if accs else 0.0
+            )
+            if val_loader is not None:
+                vl, va = self.evaluate(val_loader)
+                history.val_loss.append(vl)
+                history.val_accuracy.append(va)
+            if verbose:
+                msg = (
+                    f"epoch {epoch + 1}/{epochs} "
+                    f"loss={history.train_loss[-1]:.4f} "
+                    f"acc={history.train_accuracy[-1]:.3f}"
+                )
+                if val_loader is not None:
+                    msg += (
+                        f" val_loss={history.val_loss[-1]:.4f} "
+                        f"val_acc={history.val_accuracy[-1]:.3f}"
+                    )
+                print(msg)
+        history.wall_time_s = time.perf_counter() - t0
+        return history

@@ -1,0 +1,33 @@
+"""Shared fixtures and numerical-testing helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+def numeric_gradient(f, a: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar-valued ``f`` at *a*."""
+    a = np.asarray(a, dtype=np.float64)
+    grad = np.zeros_like(a)
+    it = np.nditer(a, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        ap = a.copy()
+        am = a.copy()
+        ap[idx] += eps
+        am[idx] -= eps
+        grad[idx] = (f(ap) - f(am)) / (2 * eps)
+    return grad
+
+
+def assert_grad_matches(f, a: np.ndarray, analytic: np.ndarray, atol=1e-5):
+    """Assert an analytic gradient matches finite differences."""
+    numeric = numeric_gradient(f, a)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)

@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) for butterfly invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.butterfly import (
+    butterfly_multiply,
+    butterfly_param_count,
+    butterfly_to_dense,
+    orthogonal_twiddle,
+    random_twiddle,
+)
+from repro.utils import log2_int
+
+pow2 = st.sampled_from([2, 4, 8, 16, 32])
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pow2, seeds)
+def test_fast_multiply_equals_dense(n, seed):
+    tw = random_twiddle(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((3, n))
+    np.testing.assert_allclose(
+        butterfly_multiply(tw, x),
+        x @ butterfly_to_dense(tw).T,
+        atol=1e-9,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(pow2, seeds)
+def test_orthogonal_twiddle_preserves_norm(n, seed):
+    tw = orthogonal_twiddle(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    y = butterfly_multiply(tw, x)
+    np.testing.assert_allclose(
+        np.linalg.norm(y), np.linalg.norm(x), rtol=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(pow2)
+def test_param_count_formula(n):
+    assert butterfly_param_count(n) == 2 * n * log2_int(n)
+
+
+@settings(max_examples=20, deadline=None)
+@given(pow2, seeds)
+def test_dense_expansion_sparsity_bound(n, seed):
+    # A butterfly is a product of log n factors with 2n nonzeros each; the
+    # dense product is generically full but each FACTOR stays 2n-sparse.
+    from repro.core.butterfly import butterfly_factor_dense, level_stride
+
+    tw = random_twiddle(n, seed=seed)
+    log_n = log2_int(n)
+    for level in range(log_n):
+        stride = level_stride(level, log_n)
+        factor = butterfly_factor_dense(tw[level], stride)
+        assert np.count_nonzero(factor) <= 2 * n
+
+
+@settings(max_examples=30, deadline=None)
+@given(pow2, seeds, seeds)
+def test_composition_is_matrix_product(n, seed_a, seed_b):
+    ta = random_twiddle(n, seed=seed_a)
+    tb = random_twiddle(n, seed=seed_b)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((2, n))
+    composed = butterfly_multiply(ta, butterfly_multiply(tb, x))
+    dense = butterfly_to_dense(ta) @ butterfly_to_dense(tb)
+    np.testing.assert_allclose(composed, x @ dense.T, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pow2, seeds)
+def test_orthogonal_inverse_is_transpose(n, seed):
+    dense = butterfly_to_dense(orthogonal_twiddle(n, seed=seed))
+    np.testing.assert_allclose(
+        np.linalg.inv(dense), dense.T, atol=1e-9
+    )

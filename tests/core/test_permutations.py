@@ -1,0 +1,121 @@
+"""Tests for bit-reversal / stride permutations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permutations import (
+    bit_reversal_permutation,
+    compose_permutations,
+    invert_permutation,
+    is_permutation,
+    permutation_matrix,
+    stride_permutation,
+)
+
+pow2 = st.sampled_from([2, 4, 8, 16, 32, 64, 128])
+
+
+class TestBitReversal:
+    def test_small_case(self):
+        np.testing.assert_array_equal(
+            bit_reversal_permutation(8), [0, 4, 2, 6, 1, 5, 3, 7]
+        )
+
+    def test_identity_for_n2(self):
+        np.testing.assert_array_equal(bit_reversal_permutation(2), [0, 1])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            bit_reversal_permutation(12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(pow2)
+    def test_is_valid_permutation(self, n):
+        assert is_permutation(bit_reversal_permutation(n))
+
+    @settings(max_examples=20, deadline=None)
+    @given(pow2)
+    def test_is_involution(self, n):
+        perm = bit_reversal_permutation(n)
+        np.testing.assert_array_equal(perm[perm], np.arange(n))
+
+
+class TestStride:
+    def test_even_odd_separation(self):
+        # stride 2 reads evens then odds.
+        np.testing.assert_array_equal(
+            stride_permutation(8, 2), [0, 2, 4, 6, 1, 3, 5, 7]
+        )
+
+    def test_stride_one_is_identity(self):
+        np.testing.assert_array_equal(
+            stride_permutation(8, 1), np.arange(8)
+        )
+
+    def test_stride_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            stride_permutation(8, 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(pow2, st.sampled_from([1, 2, 4]))
+    def test_valid_permutation(self, n, stride):
+        if n % stride:
+            with pytest.raises(ValueError):
+                stride_permutation(n, stride)
+        else:
+            assert is_permutation(stride_permutation(n, stride))
+
+
+class TestMatrixAndComposition:
+    def test_permutation_matrix_applies(self, rng):
+        perm = rng.permutation(10)
+        x = rng.standard_normal(10)
+        np.testing.assert_allclose(permutation_matrix(perm) @ x, x[perm])
+
+    def test_invert(self, rng):
+        perm = rng.permutation(15)
+        inv = invert_permutation(perm)
+        x = rng.standard_normal(15)
+        np.testing.assert_array_equal(x[perm][inv], x)
+
+    def test_compose(self, rng):
+        p = rng.permutation(12)
+        q = rng.permutation(12)
+        x = rng.standard_normal(12)
+        np.testing.assert_array_equal(
+            x[compose_permutations(p, q)], x[q][p]
+        )
+
+    def test_compose_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            compose_permutations(np.arange(3), np.arange(4))
+
+    def test_matrix_is_orthogonal(self, rng):
+        perm = rng.permutation(9)
+        mat = permutation_matrix(perm)
+        np.testing.assert_allclose(mat @ mat.T, np.eye(9))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=30))
+    def test_invert_property(self, n):
+        rng = np.random.default_rng(n)
+        perm = rng.permutation(n)
+        inv = invert_permutation(perm)
+        np.testing.assert_array_equal(perm[inv], np.arange(n))
+        np.testing.assert_array_equal(inv[perm], np.arange(n))
+
+
+class TestIsPermutation:
+    def test_accepts_valid(self):
+        assert is_permutation(np.array([2, 0, 1]))
+
+    def test_rejects_repeats(self):
+        assert not is_permutation(np.array([0, 0, 1]))
+
+    def test_rejects_out_of_range(self):
+        assert not is_permutation(np.array([0, 3]))
+
+    def test_rejects_2d(self):
+        assert not is_permutation(np.eye(3, dtype=int))

@@ -1,0 +1,117 @@
+"""Tests for GPU kernel cost models."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.kernels import (
+    cublas_fp32_cost,
+    cublas_tf32_cost,
+    naive_matmul_cost,
+    occupancy,
+    pytorch_matmul_cost,
+    shmem_matmul_cost,
+    stream_cost,
+    tile_quantisation,
+)
+from repro.gpu.machine import A30
+
+
+class TestQuantisation:
+    def test_aligned_is_one(self):
+        assert tile_quantisation(256, 128, (128, 64)) == 1.0
+
+    def test_misaligned_below_one(self):
+        assert tile_quantisation(129, 64, (128, 64)) < 0.6
+
+    def test_tiny_dims_waste_tiles(self):
+        assert tile_quantisation(8, 8, (128, 64)) == pytest.approx(
+            64 / (128 * 64)
+        )
+
+
+class TestOccupancy:
+    def test_large_grid_full(self):
+        assert occupancy(4096, 4096, (128, 64), A30) == 1.0
+
+    def test_small_grid_partial(self):
+        occ = occupancy(16, 16, (128, 64), A30)
+        assert 0 < occ < 1.0
+
+    def test_split_k_recovers_some(self):
+        # One CTA with split-k 8 beats 1/112 raw occupancy.
+        occ = occupancy(64, 32, (128, 64), A30)
+        assert occ >= 8 / (A30.sm_count * A30.ctas_per_sm_for_peak)
+
+
+class TestKernelHierarchy:
+    def test_table2_ordering_naive_shmem_cublas(self):
+        n = 2048
+        naive = naive_matmul_cost(A30, n, n, n).gflops
+        shmem = shmem_matmul_cost(A30, n, n, n).gflops
+        cublas = cublas_fp32_cost(A30, n, n, n).gflops
+        tf32 = cublas_tf32_cost(A30, n, n, n).gflops
+        assert naive < shmem < cublas < tf32
+
+    def test_cublas_near_datasheet_peak(self):
+        gflops = cublas_fp32_cost(A30, 4096, 4096, 4096).gflops
+        # Paper Table 2: 9722 GFLOPS.
+        assert 9000 < gflops < 10300
+
+    def test_tf32_near_paper_value(self):
+        gflops = cublas_tf32_cost(A30, 4096, 4096, 4096).gflops
+        # Paper Table 2: 59312 GFLOPS.
+        assert 50000 < gflops < 70000
+
+    def test_naive_near_paper_value(self):
+        gflops = naive_matmul_cost(A30, 4096, 4096, 4096).gflops
+        # Paper Table 2: 1091 GFLOPS.
+        assert 500 < gflops < 2000
+
+    def test_pytorch_adds_overhead(self):
+        base = cublas_fp32_cost(A30, 64, 64, 64).time_s
+        torch = pytorch_matmul_cost(A30, 64, 64, 64, tensor_cores=False).time_s
+        assert torch > base
+
+    def test_launch_floor(self):
+        cost = cublas_fp32_cost(A30, 2, 2, 2)
+        assert cost.time_s >= A30.kernel_launch_s
+
+    def test_tf32_k_quantisation(self):
+        aligned = cublas_tf32_cost(A30, 1024, 1024, 1024)
+        thin_k = cublas_tf32_cost(A30, 1024, 1024, 4)
+        # Same quantisation in m,n but k=4 cannot fill the MMA depth.
+        assert thin_k.gflops < 0.6 * aligned.gflops
+
+
+class TestSkewBehaviour:
+    def test_fp32_collapses_at_extreme_skew(self):
+        square = cublas_fp32_cost(A30, 2048, 2048, 2048).gflops
+        skewed = cublas_fp32_cost(A30, 524288, 8, 2048).gflops
+        assert skewed < 0.3 * square
+
+    def test_tf32_degrades_faster_than_fp32(self):
+        # Paper Section 3.4: "TC performance degrades faster than GPU
+        # performance without TC for skewed matrices."
+        m, n, k = 32768, 128, 2048
+        fp32_ratio = (
+            cublas_fp32_cost(A30, m, n, k).gflops
+            / cublas_fp32_cost(A30, 2048, 2048, 2048).gflops
+        )
+        tf32_ratio = (
+            cublas_tf32_cost(A30, m, n, k).gflops
+            / cublas_tf32_cost(A30, 2048, 2048, 2048).gflops
+        )
+        assert tf32_ratio < fp32_ratio
+
+
+class TestStream:
+    def test_bandwidth_bound(self):
+        nbytes = 1 << 28
+        cost = stream_cost(A30, nbytes)
+        expected = A30.kernel_launch_s + nbytes / A30.effective_bandwidth
+        assert cost.time_s == pytest.approx(expected)
+
+    def test_passes_scale_traffic(self):
+        one = stream_cost(A30, 1 << 24, passes=1.0).time_s
+        four = stream_cost(A30, 1 << 24, passes=4.0).time_s
+        assert four > 2 * one

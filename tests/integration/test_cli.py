@@ -1,0 +1,48 @@
+"""Tests for the `python -m repro` command-line entry point."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import ARTEFACTS, SLOW, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTEFACTS:
+            assert name in out
+
+    def test_single_artefact(self, capsys):
+        assert main(["table1"]) == 0
+        assert "GC200" in capsys.readouterr().out
+
+    def test_multiple_artefacts(self, capsys):
+        assert main(["table1", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "A30" in out and "distance-free" in out
+
+    def test_unknown_artefact_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_out_directory(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        written = tmp_path / "table1.txt"
+        assert written.exists()
+        assert "GC200" in written.read_text()
+
+    def test_all_excludes_slow_by_default(self):
+        names = list(ARTEFACTS)
+        fast = [n for n in names if n not in SLOW]
+        # Sanity: the slow set is exactly the two training artefacts.
+        assert SLOW == {"table4", "table5"}
+        assert "fig6" in fast
+
+    def test_every_fast_renderer_returns_text(self):
+        for name, (fast, _, _) in ARTEFACTS.items():
+            if name in SLOW or name in ("table2", "fig4", "fig6", "fig7"):
+                continue  # slow-ish; covered by their own benches
+            text = fast()
+            assert isinstance(text, str) and len(text) > 50

@@ -1,0 +1,173 @@
+"""Smoke tests: every experiment driver runs and renders (reduced budgets)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    config,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    table1,
+    table2,
+    table4,
+    table5,
+)
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = table1.run()
+        labels = [r[0] for r in rows]
+        assert "FP32 peak compute" in labels
+
+    def test_render_contains_devices(self):
+        text = table1.render()
+        assert "A30" in text and "GC200" in text
+
+
+class TestFig3:
+    def test_render(self):
+        assert "distance-free" in fig3.render()
+
+
+class TestTable2:
+    def test_run_small(self):
+        result = table2.run(sizes=[512], sparse_size=512)
+        assert result.best("IPU poplin") > result.best("IPU naive")
+        assert result.best("GPU cublas (TF32)") > result.best(
+            "GPU cublas (FP32)"
+        )
+        assert result.best("GPU cusparse 99%") > 0
+
+    def test_render(self):
+        text = table2.render(sizes=[256])
+        assert "PopTorch" in text
+
+
+class TestFig4:
+    def test_run(self):
+        rows = fig4.run(base=512, exponents=[-4, 0, 4])
+        assert len(rows) == 3
+        assert rows[1].skew == 1.0
+
+    def test_skew_shape_math(self):
+        m, n, k = fig4.skew_shape(1024, 6)
+        assert m / n == 64
+        assert m * n == 1024**2
+
+    def test_render(self):
+        assert "IPU poplin" in fig4.render(base=512)
+
+
+class TestFig5:
+    def test_run(self):
+        rows = fig5.run(sizes=[64, 256])
+        assert rows[0].overhead_ratio > 1.0
+
+    def test_render(self):
+        assert "compute sets" in fig5.render()
+
+
+class TestFig6:
+    def test_unknown_device(self):
+        with pytest.raises(ValueError, match="device"):
+            fig6.layer_times("tpu", 128)
+
+    def test_run_subset(self):
+        rows = fig6.run(sizes=[128], devices=("ipu",))
+        assert len(rows) == 1
+        assert rows[0].linear_s > 0
+
+    def test_render(self):
+        text = fig6.render(sizes=[128, 256])
+        assert "tensor cores OFF" in text
+        assert "IPU" in text
+
+
+class TestFig7:
+    def test_run(self):
+        rows = fig7.run(sizes=[128])
+        layers = {r.layer for r in rows}
+        assert layers == {"linear", "butterfly", "pixelfly"}
+
+    def test_render(self):
+        assert "pixelfly" in fig7.render(sizes=[128])
+
+
+class TestConfig:
+    def test_shl_model_methods(self):
+        for method in config.METHODS:
+            model = config.shl_model(method, dim=64)
+            assert model.param_count() > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            config.shl_model("magic")
+
+    def test_table3_values(self):
+        hp = config.TABLE3
+        assert hp.momentum == 0.9
+        assert hp.batch_size == 50
+        assert hp.val_fraction == 0.15
+        assert hp.activation == "ReLU"
+        assert hp.loss == "Cross-Entropy"
+
+
+class TestTable4Driver:
+    def test_run_method_quick(self):
+        from repro.datasets import load_cifar10
+
+        train, test = load_cifar10(n_train=300, n_test=100, seed=0)
+        row = table4.run_method(
+            "Low-rank", train, test, epochs=1
+        )
+        assert row.n_params == 13322
+        assert 0.0 <= row.accuracy <= 1.0
+        assert row.ipu_time_s > 0
+        assert row.gpu_tc_time_s > 0
+
+    def test_render_quick(self):
+        rows = table4.run(
+            methods=["Baseline", "Low-rank"],
+            epochs=1,
+            n_train=300,
+            n_test=100,
+        )
+        text = table4.render(rows)
+        assert "Table 3 hyperparameters" in text
+        assert "1,059,850" in text or "1059850" in text
+
+
+class TestTable5Driver:
+    def test_small_grid(self):
+        points = table5.run(
+            grid=[(2, 8, 2), (2, 8, 4), (4, 8, 2), (4, 8, 4)],
+            epochs=1,
+            n_train=200,
+            n_test=100,
+        )
+        assert len(points) == 4
+        summaries = table5.summarize(points)
+        assert {s.varied for s in summaries} == {
+            "butterfly_size",
+            "block_size",
+            "rank",
+        }
+
+    def test_params_grow_with_rank(self):
+        points = table5.run(
+            grid=[(2, 8, 2), (2, 8, 64)],
+            epochs=1,
+            n_train=200,
+            n_test=100,
+        )
+        assert points[1].n_params > points[0].n_params
+
+    def test_render(self):
+        points = table5.run(
+            grid=[(2, 8, 2), (4, 8, 2)], epochs=1, n_train=200, n_test=100
+        )
+        assert "max_std" in table5.render(points)

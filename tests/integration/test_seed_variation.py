@@ -1,0 +1,66 @@
+"""Seed-variation study (paper Section 4.2).
+
+The paper: *"slight differences (< 1.5 %) are present and are most likely a
+result of the non-associativity of floating point beyond instruction
+boundaries, as well as different weight initializations due to
+randomization."*  We verify the analogous property here: re-training the
+same butterfly SHL with different weight/shuffle seeds moves accuracy by a
+few points, never across tiers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.datasets import SyntheticSpec, make_classification
+
+DIM = 256
+
+
+@pytest.fixture(scope="module")
+def data():
+    spec = SyntheticSpec(dim=DIM, n_classes=4, support_size=16, noise=0.25)
+    train = make_classification(1200, spec, seed=7, split=0)
+    test = make_classification(600, spec, seed=7, split=1)
+    return train, test
+
+
+def train_once(data, seed: int) -> float:
+    train, test = data
+    model = nn.Sequential(
+        nn.ButterflyLinear(DIM, DIM, seed=seed),
+        nn.ReLU(),
+        nn.Linear(DIM, 4, seed=seed + 100),
+    )
+    trainer = nn.Trainer(
+        model, nn.SGD(model.parameters(), lr=0.02, momentum=0.9)
+    )
+    trainer.fit(nn.DataLoader(train, 50, seed=seed), epochs=6)
+    _, acc = trainer.evaluate(nn.DataLoader(test, 200, shuffle=False))
+    return acc
+
+
+@pytest.fixture(scope="module")
+def accuracies(data):
+    return [train_once(data, seed) for seed in (0, 1, 2)]
+
+
+class TestSeedVariation:
+    def test_all_seeds_learn(self, accuracies):
+        assert all(a > 0.5 for a in accuracies)
+
+    def test_spread_is_slight(self, accuracies):
+        # Paper: < 1.5 points on real CIFAR; allow a wider band at our much
+        # smaller training budget, but it must stay within one tier.
+        spread = max(accuracies) - min(accuracies)
+        assert spread < 0.12
+
+    def test_mean_stable(self, accuracies):
+        assert float(np.std(accuracies)) < 0.06
+
+
+class TestDeterminismWithinSeed:
+    def test_same_seed_same_accuracy(self, data):
+        a = train_once(data, seed=5)
+        b = train_once(data, seed=5)
+        assert a == pytest.approx(b)

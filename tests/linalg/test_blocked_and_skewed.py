@@ -1,0 +1,115 @@
+"""Tests for blocked matmul and skew utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    blocked_matmul,
+    block_grid,
+    dense_matmul,
+    equal_flops_shapes,
+    matmul_bytes,
+    matmul_flops,
+    skew_ratio,
+    skewed_shapes,
+)
+
+
+class TestBlocked:
+    def test_matches_dense_exact_blocks(self, rng):
+        a = rng.standard_normal((64, 32))
+        b = rng.standard_normal((32, 48))
+        np.testing.assert_allclose(
+            blocked_matmul(a, b, block=16), a @ b, atol=1e-10
+        )
+
+    def test_matches_dense_ragged_blocks(self, rng):
+        a = rng.standard_normal((37, 23))
+        b = rng.standard_normal((23, 41))
+        np.testing.assert_allclose(
+            blocked_matmul(a, b, block=16), a @ b, atol=1e-10
+        )
+
+    def test_block_larger_than_matrix(self, rng):
+        a = rng.standard_normal((5, 6))
+        b = rng.standard_normal((6, 7))
+        np.testing.assert_allclose(
+            blocked_matmul(a, b, block=100), a @ b, atol=1e-10
+        )
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError, match="mismatch"):
+            blocked_matmul(np.ones((3, 4)), np.ones((5, 6)))
+
+    def test_block_grid(self):
+        assert block_grid(100, 64, 65, 32) == (4, 2, 3)
+
+    def test_block_grid_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            block_grid(10, 10, 10, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 20),
+        st.integers(1, 20),
+        st.integers(1, 20),
+        st.integers(1, 8),
+    )
+    def test_property_blocked_equals_dense(self, m, k, n, block):
+        rng = np.random.default_rng(m * 1000 + k * 100 + n * 10 + block)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        np.testing.assert_allclose(
+            blocked_matmul(a, b, block=block), a @ b, atol=1e-9
+        )
+
+
+class TestFlops:
+    def test_matmul_flops(self):
+        assert matmul_flops(2, 3, 4) == 48
+
+    def test_matmul_bytes(self):
+        assert matmul_bytes(2, 3, 4, element_bytes=4) == 4 * (8 + 12 + 6)
+
+    def test_dense_matmul_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            dense_matmul(np.ones((2, 3)), np.ones((4, 5)))
+
+
+class TestSkew:
+    def test_skew_ratio(self):
+        assert skew_ratio(128, 32) == 4.0
+
+    def test_skew_ratio_rejects_zero_n(self):
+        with pytest.raises(ValueError):
+            skew_ratio(10, 0)
+
+    def test_skewed_shapes_positive_exponent(self):
+        m, n, k = skewed_shapes(64, 3)
+        assert (m, n, k) == (512, 64, 64)
+        assert skew_ratio(m, n) == 8.0
+
+    def test_skewed_shapes_negative_exponent(self):
+        m, n, k = skewed_shapes(64, -2)
+        assert (m, n, k) == (64, 256, 256)
+
+    def test_skewed_shapes_zero(self):
+        assert skewed_shapes(64, 0) == (64, 64, 64)
+
+    def test_equal_flops_shapes_near_budget(self):
+        budget = 2 * 256**3
+        shapes = equal_flops_shapes(budget, [-4, 0, 4])
+        for m, n, k in shapes:
+            flops = 2 * m * n * k
+            assert 0.5 * budget <= flops <= 2.0 * budget
+
+    def test_equal_flops_shapes_skew_achieved(self):
+        shapes = equal_flops_shapes(2 * 512**3, [4])
+        m, n, _ = shapes[0]
+        assert 8 <= m / n <= 32  # ~2**4 up to rounding
+
+    def test_equal_flops_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            equal_flops_shapes(0, [1])

@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for the sparse formats."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg import COOMatrix, CSRMatrix
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=12),
+)
+
+
+def sparse_dense(shape):
+    """A float array strategy with many exact zeros."""
+    return arrays(
+        dtype=np.float64,
+        shape=shape,
+        elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, -2.0, 0.5, 3.25]),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(shapes.flatmap(sparse_dense))
+def test_csr_roundtrip(a):
+    np.testing.assert_array_equal(CSRMatrix.from_dense(a).to_dense(), a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(shapes.flatmap(sparse_dense))
+def test_coo_roundtrip(a):
+    np.testing.assert_array_equal(COOMatrix.from_dense(a).to_dense(), a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(shapes.flatmap(sparse_dense))
+def test_csr_coo_conversion_consistent(a):
+    csr = CSRMatrix.from_dense(a)
+    np.testing.assert_array_equal(csr.to_coo().to_csr().to_dense(), a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(shapes.flatmap(sparse_dense), st.integers(min_value=1, max_value=5))
+def test_csr_matmul_matches_dense(a, cols):
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((a.shape[1], cols))
+    np.testing.assert_allclose(
+        CSRMatrix.from_dense(a) @ b, a @ b, atol=1e-10
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(shapes.flatmap(sparse_dense), st.integers(min_value=1, max_value=5))
+def test_coo_matmul_matches_dense(a, cols):
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal((a.shape[1], cols))
+    np.testing.assert_allclose(
+        COOMatrix.from_dense(a) @ b, a @ b, atol=1e-10
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(shapes.flatmap(sparse_dense))
+def test_transpose_involution(a):
+    csr = CSRMatrix.from_dense(a)
+    np.testing.assert_array_equal(
+        csr.transpose().transpose().to_dense(), a
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(shapes.flatmap(sparse_dense))
+def test_nnz_invariant_under_conversion(a):
+    csr = CSRMatrix.from_dense(a)
+    assert csr.nnz == csr.to_coo().nnz == csr.transpose().nnz

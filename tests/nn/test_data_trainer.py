@@ -1,0 +1,153 @@
+"""Tests for the data pipeline and trainer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import ArrayDataset, DataLoader, Trainer, train_val_split
+
+
+def toy_dataset(n=100, dim=6, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, dim))
+    w = rng.standard_normal((dim, classes))
+    y = (x @ w).argmax(axis=1)
+    return ArrayDataset(x, y)
+
+
+class TestDataset:
+    def test_length(self):
+        assert len(toy_dataset(50)) == 50
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_subset(self):
+        ds = toy_dataset(10)
+        sub = ds.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.x[0], ds.x[1])
+
+
+class TestSplit:
+    def test_fraction(self):
+        train, val = train_val_split(toy_dataset(100), 0.15, seed=0)
+        assert len(val) == 15 and len(train) == 85
+
+    def test_disjoint_and_complete(self):
+        ds = toy_dataset(40)
+        train, val = train_val_split(ds, 0.25, seed=1)
+        combined = np.concatenate([train.x, val.x])
+        assert combined.shape == ds.x.shape
+        # Every original row appears exactly once.
+        orig = {tuple(r) for r in ds.x.round(6)}
+        new = {tuple(r) for r in combined.round(6)}
+        assert orig == new
+
+    def test_deterministic(self):
+        a1, _ = train_val_split(toy_dataset(30), 0.2, seed=5)
+        a2, _ = train_val_split(toy_dataset(30), 0.2, seed=5)
+        np.testing.assert_array_equal(a1.x, a2.x)
+
+    def test_validation_bounds(self):
+        with pytest.raises(ValueError):
+            train_val_split(toy_dataset(10), 1.0)
+
+
+class TestDataLoader:
+    def test_batch_count(self):
+        loader = DataLoader(toy_dataset(103), batch_size=10, shuffle=False)
+        assert len(loader) == 11
+        batches = list(loader)
+        assert len(batches) == 11
+        assert batches[-1][0].shape[0] == 3
+
+    def test_drop_last(self):
+        loader = DataLoader(
+            toy_dataset(103), batch_size=10, drop_last=True, shuffle=False
+        )
+        assert len(loader) == 10
+        assert all(x.shape[0] == 10 for x, _ in loader)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = toy_dataset(20)
+        loader = DataLoader(ds, batch_size=7, shuffle=False)
+        x, _ = next(iter(loader))
+        np.testing.assert_array_equal(x, ds.x[:7])
+
+    def test_shuffle_changes_order_between_epochs(self):
+        loader = DataLoader(toy_dataset(50), batch_size=50, seed=0)
+        first = next(iter(loader))[0].copy()
+        second = next(iter(loader))[0]
+        assert not np.array_equal(first, second)
+
+    def test_covers_all_samples_when_shuffled(self):
+        ds = toy_dataset(37)
+        loader = DataLoader(ds, batch_size=8, seed=0)
+        seen = np.concatenate([y for _, y in loader])
+        assert len(seen) == 37
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataLoader(toy_dataset(5), batch_size=0)
+
+
+class TestTrainer:
+    def _trainer(self, lr=0.05):
+        model = nn.Sequential(
+            nn.Linear(6, 16, seed=0), nn.ReLU(), nn.Linear(16, 3, seed=1)
+        )
+        return Trainer(model, nn.SGD(model.parameters(), lr=lr, momentum=0.9))
+
+    def test_loss_decreases(self):
+        ds = toy_dataset(200)
+        trainer = self._trainer()
+        history = trainer.fit(DataLoader(ds, 20, seed=0), epochs=15)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_learns_separable_task(self):
+        ds = toy_dataset(300)
+        trainer = self._trainer()
+        history = trainer.fit(DataLoader(ds, 20, seed=0), epochs=25)
+        assert history.train_accuracy[-1] > 0.8
+
+    def test_history_shapes(self):
+        ds = toy_dataset(60)
+        tr, va = train_val_split(ds, 0.2, seed=0)
+        trainer = self._trainer()
+        history = trainer.fit(
+            DataLoader(tr, 16, seed=0),
+            DataLoader(va, 16, shuffle=False),
+            epochs=3,
+        )
+        assert len(history.train_loss) == 3
+        assert len(history.val_accuracy) == 3
+        assert history.steps == 3 * len(DataLoader(tr, 16))
+        assert history.wall_time_s > 0
+
+    def test_device_time_models_integrate(self):
+        ds = toy_dataset(40)
+        model = nn.Sequential(nn.Linear(6, 3, seed=0))
+        trainer = Trainer(
+            model,
+            nn.SGD(model.parameters(), lr=0.01),
+            step_time_models={"fake": lambda batch: 1e-3},
+        )
+        history = trainer.fit(DataLoader(ds, 10, seed=0), epochs=2)
+        assert history.device_time_s["fake"] == pytest.approx(
+            1e-3 * history.steps
+        )
+
+    def test_evaluate_runs_in_eval_mode(self):
+        ds = toy_dataset(30)
+        model = nn.Sequential(nn.Dropout(0.5, seed=0), nn.Linear(6, 3, seed=0))
+        trainer = Trainer(model, nn.SGD(model.parameters(), lr=0.01))
+        loss1, _ = trainer.evaluate(DataLoader(ds, 10, shuffle=False))
+        loss2, _ = trainer.evaluate(DataLoader(ds, 10, shuffle=False))
+        assert loss1 == pytest.approx(loss2)  # dropout disabled -> stable
+
+    def test_final_val_accuracy_empty(self):
+        from repro.nn.trainer import TrainingHistory
+
+        assert TrainingHistory().final_val_accuracy == 0.0

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+finite = st.floats(
+    min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+)
+small_arrays = arrays(
+    dtype=np.float64, shape=array_shapes(max_dims=3, max_side=5),
+    elements=finite,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_add_zero_identity(a):
+    t = Tensor(a, requires_grad=True)
+    out = t + np.zeros_like(a)
+    np.testing.assert_array_equal(out.data, a)
+    out.backward(np.ones_like(a))
+    np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_mul_commutes(a):
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(a.shape)
+    np.testing.assert_allclose(
+        (Tensor(a) * b).data, (Tensor(b) * a).data
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_sum_grad_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    F.sum_(t).backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_mean_grad_is_uniform(a):
+    t = Tensor(a, requires_grad=True)
+    F.mean(t).backward()
+    np.testing.assert_allclose(t.grad, np.full_like(a, 1.0 / a.size))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_reshape_roundtrip_grad(a):
+    t = Tensor(a, requires_grad=True)
+    out = F.reshape(F.reshape(t, (-1,)), a.shape)
+    out.backward(np.ones_like(a))
+    np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_exp_log_inverse(a):
+    t = Tensor(a)
+    np.testing.assert_allclose(F.log(F.exp(t)).data, a, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_relu_idempotent(a):
+    t = Tensor(a)
+    once = F.relu(t).data
+    twice = F.relu(F.relu(t)).data
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_relu_plus_negated_relu_is_identity(a):
+    t = Tensor(a)
+    reconstructed = F.relu(t).data - F.relu(-t).data
+    np.testing.assert_allclose(reconstructed, a, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 6), st.integers(1, 6), st.integers(1, 6),
+    st.integers(0, 2**31 - 1),
+)
+def test_matmul_linearity_in_grad(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    ta = Tensor(a, requires_grad=True)
+    F.sum_(F.matmul(ta, b)).backward()
+    # d(sum(AB))/dA = B summed over output columns, broadcast over rows.
+    expected = np.tile(b.sum(axis=1), (m, 1))
+    np.testing.assert_allclose(ta.grad, expected, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 8), st.integers(2, 8), st.integers(0, 2**31 - 1))
+def test_log_softmax_normalisation(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    out = F.log_softmax(Tensor(rng.standard_normal((rows, cols))))
+    np.testing.assert_allclose(
+        np.exp(out.data).sum(axis=-1), np.ones(rows), atol=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 8), st.integers(0, 2**31 - 1))
+def test_softmax_shift_invariance(n, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    a = F.softmax(Tensor(x)).data
+    b = F.softmax(Tensor(x + 100.0)).data
+    np.testing.assert_allclose(a, b, atol=1e-9)

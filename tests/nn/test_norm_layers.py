@@ -1,0 +1,148 @@
+"""Tests for BatchNorm1d and LayerNorm."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from tests.conftest import numeric_gradient
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self, rng):
+        bn = nn.BatchNorm1d(6)
+        x = rng.standard_normal((64, 6)) * 5 + 3
+        y = bn(Tensor(x)).data
+        np.testing.assert_allclose(y.mean(axis=0), 0, atol=1e-7)
+        np.testing.assert_allclose(y.std(axis=0), 1, atol=1e-2)
+
+    def test_running_stats_converge(self, rng):
+        bn = nn.BatchNorm1d(4, momentum=0.2)
+        for _ in range(200):
+            x = rng.standard_normal((128, 4)) * 2 + 1
+            bn(Tensor(x))
+        np.testing.assert_allclose(bn.running_mean, 1.0, atol=0.2)
+        np.testing.assert_allclose(bn.running_var, 4.0, atol=0.8)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm1d(4)
+        bn.running_mean = np.full(4, 2.0)
+        bn.running_var = np.full(4, 4.0)
+        bn.eval()
+        x = np.full((3, 4), 4.0)
+        y = bn(Tensor(x)).data
+        np.testing.assert_allclose(y, (4 - 2) / 2, atol=1e-3)
+
+    def test_eval_is_deterministic_per_sample(self, rng):
+        bn = nn.BatchNorm1d(4)
+        bn(Tensor(rng.standard_normal((32, 4))))  # populate stats
+        bn.eval()
+        a = bn(Tensor(np.ones((1, 4)))).data
+        b = bn(Tensor(np.ones((5, 4)))).data[:1]
+        np.testing.assert_allclose(a, b)
+
+    def test_gamma_beta_learnable(self, rng):
+        bn = nn.BatchNorm1d(4)
+        names = dict(bn.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        out = bn(Tensor(rng.standard_normal((8, 4))))
+        out.sum().backward()
+        assert bn.weight.grad is not None and bn.bias.grad is not None
+
+    def test_input_gradient_matches_finite_difference(self, rng):
+        bn = nn.BatchNorm1d(3)
+        x = rng.standard_normal((5, 3))
+        seed = rng.standard_normal((5, 3))
+        t = Tensor(x, requires_grad=True)
+        bn(t).backward(seed)
+
+        def scalar(a):
+            fresh = nn.BatchNorm1d(3)
+            return float((fresh(Tensor(a)).data * seed).sum())
+
+        np.testing.assert_allclose(
+            t.grad, numeric_gradient(scalar, x), atol=1e-5
+        )
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(0)
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(4, momentum=0.0)
+        bn = nn.BatchNorm1d(4)
+        with pytest.raises(ValueError, match="expected"):
+            bn(Tensor(rng.standard_normal((3, 5))))
+
+    def test_trains_inside_model(self, rng):
+        model = nn.Sequential(
+            nn.Linear(8, 16, seed=0),
+            nn.BatchNorm1d(16),
+            nn.ReLU(),
+            nn.Linear(16, 3, seed=1),
+        )
+        opt = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+        x = rng.standard_normal((40, 8))
+        y = rng.integers(0, 3, 40)
+        losses = []
+        for _ in range(20):
+            opt.zero_grad()
+            loss = nn.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestLayerNorm:
+    def test_normalises_rows(self, rng):
+        ln = nn.LayerNorm(10)
+        x = rng.standard_normal((7, 10)) * 4 - 2
+        y = ln(Tensor(x)).data
+        np.testing.assert_allclose(y.mean(axis=-1), 0, atol=1e-7)
+        np.testing.assert_allclose(y.std(axis=-1), 1, atol=1e-2)
+
+    def test_independent_of_other_rows(self, rng):
+        ln = nn.LayerNorm(6)
+        x = rng.standard_normal((4, 6))
+        full = ln(Tensor(x)).data
+        single = ln(Tensor(x[:1])).data
+        np.testing.assert_allclose(full[:1], single)
+
+    def test_gradients_flow(self, rng):
+        ln = nn.LayerNorm(5)
+        t = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        ln(t).sum().backward()
+        assert t.grad is not None
+        assert t.grad.shape == (3, 5)
+        # Sum of a normalised row is ~0 regardless of input, so the input
+        # gradient of sum() through the mean-subtraction is tiny.
+        assert np.abs(t.grad).max() < 1e-6
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(-1)
+        with pytest.raises(ValueError, match="trailing"):
+            nn.LayerNorm(4)(Tensor(rng.standard_normal((2, 5))))
+
+
+class TestBridgeLowering:
+    def test_both_bridges_accept_norm_layers(self):
+        from repro.gpu.torchsim import GPUModule
+        from repro.ipu.poptorch import IPUModule
+
+        model = nn.Sequential(
+            nn.Linear(64, 64, seed=0), nn.BatchNorm1d(64), nn.LayerNorm(64)
+        )
+        assert IPUModule(model, 64, 16).forward_time() > 0
+        assert GPUModule(model, 64, 16).forward_time() > 0
+
+    def test_norm_adds_compute_sets(self):
+        from repro.ipu.poptorch import IPUModule
+
+        plain = IPUModule(nn.Linear(64, 64, seed=0), 64, 16).profile()
+        with_norm = IPUModule(
+            nn.Sequential(nn.Linear(64, 64, seed=0), nn.BatchNorm1d(64)),
+            64,
+            16,
+        ).profile()
+        assert with_norm.n_compute_sets > plain.n_compute_sets
