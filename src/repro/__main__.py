@@ -6,9 +6,13 @@ Usage::
     python -m repro table1 fig3 ...      # regenerate specific ones
     python -m repro all                  # everything except the slow ones
     python -m repro all --full           # everything, paper-scale budgets
+    python -m repro trace fig6           # run one artefact under the tracer
 
 Each artefact prints to stdout; pass ``--out DIR`` to also write
-``DIR/<name>.txt`` files.
+``DIR/<name>.txt`` files.  ``trace`` runs a single artefact with the
+:mod:`repro.obs` tracer enabled and writes a Chrome ``trace_event`` JSON
+(open in ``chrome://tracing`` / Perfetto) next to the benchmark outputs,
+plus a flame summary to stdout — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import pathlib
 import sys
 from typing import Callable
 
+from repro import obs
 from repro.experiments import (
     ablation,
     fig3,
@@ -104,14 +109,76 @@ ARTEFACTS: dict[str, tuple[Callable[[], str], Callable[[], str], str]] = {
 SLOW = {"table4", "table5"}
 
 
+def _default_trace_dir() -> pathlib.Path:
+    """``benchmarks/output`` in a source checkout, else the working dir."""
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    candidate = repo_root / "benchmarks" / "output"
+    if candidate.parent.is_dir():
+        return candidate
+    return pathlib.Path("benchmarks/output")
+
+
+def trace_main(argv: list[str]) -> int:
+    """``python -m repro trace <artefact>``: run one driver under a tracer."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one artefact with tracing enabled and write a "
+        "Chrome trace-event JSON next to the benchmark outputs.",
+    )
+    parser.add_argument(
+        "artefact", help="artefact name; see 'python -m repro list'"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale budgets (slow: full training runs)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="output directory (default: benchmarks/output)",
+    )
+    args = parser.parse_args(argv)
+    if args.artefact not in ARTEFACTS:
+        parser.error(
+            f"unknown artefact {args.artefact!r}; "
+            "try 'python -m repro list'"
+        )
+    fast, full, _ = ARTEFACTS[args.artefact]
+    out_dir = args.out if args.out is not None else _default_trace_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with obs.tracing() as tracer:
+        text = (full if args.full else fast)()
+    print(text)
+    print()
+    trace_path = obs.write_chrome_trace(
+        tracer, out_dir / f"{args.artefact}.trace.json"
+    )
+    summary = obs.flame_summary(tracer)
+    summary_path = out_dir / f"{args.artefact}.flame.txt"
+    summary_path.write_text(summary + "\n")
+    print(summary)
+    print(
+        f"\n[trace: {trace_path} ({len(tracer.spans)} spans, "
+        f"{len(tracer.counters)} counter samples); "
+        f"flame summary: {summary_path}]"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )
     parser.add_argument(
         "artefacts",
         nargs="+",
-        help="artefact names, 'all', or 'list'",
+        help="artefact names, 'all', 'list', or 'trace <name>'",
     )
     parser.add_argument(
         "--full",

@@ -8,27 +8,48 @@ can flag noisy measurements.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro.obs import get_tracer
+
 __all__ = ["TimingResult", "time_callable"]
 
 
 @dataclass(frozen=True)
 class TimingResult:
-    """Summary statistics of repeated timed calls."""
+    """Summary statistics of repeated timed calls.
+
+    ``repeats`` is the number of samples actually taken; when the
+    ``max_total_s`` budget collapses it below ``requested_repeats`` the
+    spread statistics are based on fewer calls than the caller asked for
+    — with a single sample they are meaningless, so :attr:`cv` reports
+    NaN rather than a deceptively perfect ``0.0``.
+    """
 
     mean_s: float
     std_s: float
     min_s: float
     repeats: int
+    requested_repeats: int | None = None
+
+    @property
+    def capped(self) -> bool:
+        """True when the time budget cut the repeat count."""
+        return (
+            self.requested_repeats is not None
+            and self.repeats < self.requested_repeats
+        )
 
     @property
     def cv(self) -> float:
-        """Coefficient of variation (std / mean)."""
+        """Coefficient of variation (std / mean); NaN below 2 samples."""
+        if self.repeats < 2:
+            return float("nan")
         return self.std_s / self.mean_s if self.mean_s > 0 else 0.0
 
 
@@ -41,26 +62,46 @@ def time_callable(
     """Time ``fn()`` with warmup, capping total wall time.
 
     The repeat count shrinks automatically when a single call would blow
-    the ``max_total_s`` budget (the profiling guides' ~10s sweet spot).
+    the ``max_total_s`` budget (the profiling guides' ~10s sweet spot);
+    the result records both the requested and effective repeat counts.
     """
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
-    for _ in range(warmup):
-        fn()
-    t0 = time.perf_counter()
-    fn()
-    first = time.perf_counter() - t0
-    if first > 0:
-        repeats = max(1, min(repeats, int(max_total_s / first)))
-    samples = [first]
-    for _ in range(repeats - 1):
+    requested = repeats
+    tracer = get_tracer()
+    with tracer.span(
+        "time_callable", category="bench", requested_repeats=requested
+    ) as span:
+        for _ in range(warmup):
+            fn()
         t0 = time.perf_counter()
         fn()
-        samples.append(time.perf_counter() - t0)
-    arr = np.asarray(samples)
-    return TimingResult(
-        mean_s=float(arr.mean()),
-        std_s=float(arr.std()),
-        min_s=float(arr.min()),
-        repeats=len(samples),
-    )
+        first = time.perf_counter() - t0
+        if first > 0:
+            repeats = max(1, min(repeats, int(max_total_s / first)))
+        samples = [first]
+        for _ in range(repeats - 1):
+            t0 = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - t0)
+        arr = np.asarray(samples)
+        result = TimingResult(
+            mean_s=float(arr.mean()),
+            std_s=float(arr.std()),
+            min_s=float(arr.min()),
+            repeats=len(samples),
+            requested_repeats=requested,
+        )
+        if tracer.enabled:
+            span.attributes.update(
+                repeats=result.repeats,
+                mean_s=result.mean_s,
+                std_s=result.std_s,
+                min_s=result.min_s,
+                cv=None if math.isnan(result.cv) else result.cv,
+            )
+            tracer.counter(
+                "time_callable",
+                {"mean_s": result.mean_s, "min_s": result.min_s},
+            )
+    return result

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.datasets.synthetic import SyntheticSpec, make_classification
 from repro.nn.data import ArrayDataset
-from repro.utils import as_rng, derive_rng
+from repro.utils import as_rng
 
 __all__ = ["CIFAR10_DIM", "CIFAR10_CLASSES", "cifar10_spec", "load_cifar10"]
 

@@ -15,6 +15,7 @@ from repro.gpu.cusparse import coo_spmm_cost, csr_spmm_cost
 from repro.gpu.kernels import KernelCost
 from repro.gpu.machine import A30, GPUSpec
 from repro.linalg.sparse import COOMatrix, CSRMatrix
+from repro.obs import get_tracer
 from repro.utils import format_bytes
 
 __all__ = ["GPUOutOfMemoryError", "GPUDevice", "MATMUL_IMPLS"]
@@ -37,6 +38,22 @@ class GPUDevice:
 
     def __init__(self, spec: GPUSpec = A30) -> None:
         self.spec = spec
+
+    #: Virtual tracer track the simulated GPU kernel timeline lives on.
+    TRACE_TRACK = "gpu"
+
+    def _trace_kernel(self, cost: KernelCost) -> None:
+        """Record one executed kernel on the simulated-GPU timeline."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                cost.name,
+                cost.time_s,
+                self.TRACE_TRACK,
+                category="kernel",
+                flops=cost.flops,
+                bytes_moved=cost.bytes_moved,
+            )
 
     # -- memory ----------------------------------------------------------------
 
@@ -84,6 +101,7 @@ class GPUDevice:
         if k != k2:
             raise ValueError(f"dimension mismatch: {a.shape} @ {b.shape}")
         cost = self.matmul_cost(m, n, k, impl)
+        self._trace_kernel(cost)
         return kernels.run_matmul(a, b), cost
 
     # -- sparse matmul ------------------------------------------------------------
@@ -104,6 +122,7 @@ class GPUDevice:
     ) -> tuple[np.ndarray, KernelCost]:
         """Execute a SpMM numerically and return (result, cost)."""
         cost = self.spmm_cost(a, b.shape[1])
+        self._trace_kernel(cost)
         return a.matmul(b), cost
 
     # -- elementwise / streaming -------------------------------------------------

@@ -47,6 +47,7 @@ from repro.nn.structured import (
     LowRankLinear,
     PixelflyLinear,
 )
+from repro.obs import get_tracer
 from repro.utils import log2_int
 
 __all__ = ["GPUModule", "lower_model_gpu"]
@@ -282,8 +283,27 @@ class GPUModule:
     def param_bytes(self) -> int:
         return self._lowering.param_bytes
 
+    #: Virtual tracer track the simulated GPU kernel timeline lives on.
+    TRACE_TRACK = "gpu"
+
+    def _trace_kernels(self) -> None:
+        """Emit the forward kernel sequence as spans on the GPU track."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        for kernel in self.kernels:
+            tracer.add_span(
+                kernel.name,
+                kernel.time_s,
+                self.TRACE_TRACK,
+                category="kernel",
+                flops=kernel.flops,
+                bytes_moved=kernel.bytes_moved,
+            )
+
     def forward_time(self) -> float:
         """Seconds for one forward pass."""
+        self._trace_kernels()
         return sum(k.time_s for k in self.kernels)
 
     def training_step_time(self) -> float:
@@ -298,4 +318,16 @@ class GPUModule:
         opt = n_tensors * self.spec.kernel_launch_s + (
             5.0 * self.param_bytes / self.spec.effective_bandwidth
         )
-        return self.spec.train_step_overhead_s + 3.0 * fwd + opt
+        step_s = self.spec.train_step_overhead_s + 3.0 * fwd + opt
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                "backward+optimizer",
+                step_s - fwd,
+                self.TRACE_TRACK,
+                category="kernel",
+                forward_s=fwd,
+                optimizer_s=opt,
+                overhead_s=self.spec.train_step_overhead_s,
+            )
+        return step_s

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.ipu.graph import Graph
 from repro.ipu.machine import IPUSpec
+from repro.obs import get_tracer
 from repro.utils import format_bytes
 
 __all__ = [
@@ -170,65 +171,94 @@ def compile_graph(
         raise ValueError(
             f"graph built for {graph.n_tiles} tiles, spec has {spec.n_tiles}"
         )
-    per_tile = np.zeros(spec.n_tiles, dtype=np.float64)
+    tracer = get_tracer()
+    with tracer.span(
+        "compile_graph",
+        category="compile",
+        graph=graph.name,
+        n_vertices=graph.n_vertices,
+        n_edges=graph.n_edges,
+        n_compute_sets=graph.n_compute_sets,
+    ) as compile_span:
+        per_tile = np.zeros(spec.n_tiles, dtype=np.float64)
 
-    # Variable data, spread over each variable's home range.
-    var_total = 0.0
-    for var in graph.variables.values():
-        share = var.total_bytes / var.tile_span
-        per_tile[var.home_tile : var.home_tile + var.tile_span] += share
-        var_total += var.total_bytes
+        # Variable data, spread over each variable's home range.
+        var_total = 0.0
+        with tracer.span("compile.map_variables", category="compile"):
+            for var in graph.variables.values():
+                share = var.total_bytes / var.tile_span
+                per_tile[
+                    var.home_tile : var.home_tile + var.tile_span
+                ] += share
+                var_total += var.total_bytes
 
-    # Vertex state and edge code on the vertex's tile.
-    vertex_total = 0.0
-    edge_total = 0.0
-    codelets_per_tile: dict[int, set[str]] = defaultdict(set)
-    for vertex in graph.vertices:
-        per_tile[vertex.tile] += spec.vertex_state_bytes
-        vertex_total += spec.vertex_state_bytes
-        edge_bytes = vertex.n_edges * spec.edge_code_bytes
-        per_tile[vertex.tile] += edge_bytes
-        edge_total += edge_bytes
-        codelets_per_tile[vertex.tile].add(vertex.codelet)
+        # Vertex state and edge code on the vertex's tile.
+        vertex_total = 0.0
+        edge_total = 0.0
+        codelets_per_tile: dict[int, set[str]] = defaultdict(set)
+        with tracer.span("compile.map_vertices", category="compile"):
+            for vertex in graph.vertices:
+                per_tile[vertex.tile] += spec.vertex_state_bytes
+                vertex_total += spec.vertex_state_bytes
+                edge_bytes = vertex.n_edges * spec.edge_code_bytes
+                per_tile[vertex.tile] += edge_bytes
+                edge_total += edge_bytes
+                codelets_per_tile[vertex.tile].add(vertex.codelet)
 
-    # Codelet code: once per codelet type per tile that instantiates it.
-    codelet_total = 0.0
-    for tile, names in codelets_per_tile.items():
-        nbytes = len(names) * spec.codelet_code_bytes
-        per_tile[tile] += nbytes
-        codelet_total += nbytes
+            # Codelet code: once per codelet type per instantiating tile.
+            codelet_total = 0.0
+            for tile, names in codelets_per_tile.items():
+                nbytes = len(names) * spec.codelet_code_bytes
+                per_tile[tile] += nbytes
+                codelet_total += nbytes
 
-    # Control code per compute set on each participating tile, and exchange
-    # receive buffers sized by the heaviest superstep per tile.
-    control_total = 0.0
-    per_cs_tiles: list[set[int]] = []
-    recv_peak = np.zeros(spec.n_tiles, dtype=np.float64)
-    for cs in graph.compute_sets:
-        tiles: set[int] = set()
-        recv_this = defaultdict(float)
-        for vertex in graph.vertices_in(cs):
-            tiles.add(vertex.tile)
-            recv_this[vertex.tile] += vertex.remote_input_bytes()
-        for tile in tiles:
-            per_tile[tile] += spec.cs_control_bytes
-            control_total += spec.cs_control_bytes
-        for tile, nbytes in recv_this.items():
-            recv_peak[tile] = max(recv_peak[tile], nbytes)
-        per_cs_tiles.append(tiles)
-    per_tile += recv_peak
-    exchange_total = float(recv_peak.sum())
+        # Control code per compute set on each participating tile, and
+        # exchange receive buffers sized by the heaviest superstep per tile.
+        control_total = 0.0
+        per_cs_tiles: list[set[int]] = []
+        recv_peak = np.zeros(spec.n_tiles, dtype=np.float64)
+        with tracer.span("compile.account_supersteps", category="compile"):
+            for cs in graph.compute_sets:
+                tiles: set[int] = set()
+                recv_this = defaultdict(float)
+                for vertex in graph.vertices_in(cs):
+                    tiles.add(vertex.tile)
+                    recv_this[vertex.tile] += vertex.remote_input_bytes()
+                for tile in tiles:
+                    per_tile[tile] += spec.cs_control_bytes
+                    control_total += spec.cs_control_bytes
+                for tile, nbytes in recv_this.items():
+                    recv_peak[tile] = max(recv_peak[tile], nbytes)
+                per_cs_tiles.append(tiles)
+            per_tile += recv_peak
+        exchange_total = float(recv_peak.sum())
 
-    breakdown = MemoryBreakdown(
-        variables=var_total,
-        vertex_state=vertex_total,
-        edge_code=edge_total,
-        control_code=control_total,
-        codelet_code=codelet_total,
-        exchange_buffers=exchange_total,
-    )
-    report = MemoryReport(
-        spec=spec, per_tile_bytes=per_tile, breakdown=breakdown
-    )
+        breakdown = MemoryBreakdown(
+            variables=var_total,
+            vertex_state=vertex_total,
+            edge_code=edge_total,
+            control_code=control_total,
+            codelet_code=codelet_total,
+            exchange_buffers=exchange_total,
+        )
+        report = MemoryReport(
+            spec=spec, per_tile_bytes=per_tile, breakdown=breakdown
+        )
+        if tracer.enabled:
+            compile_span.attributes.update(
+                peak_tile_bytes=report.peak_tile_bytes,
+                total_bytes=report.total_bytes,
+                fits=report.fits,
+            )
+            tracer.counter(
+                "compile.memory",
+                {
+                    "peak_tile_bytes": report.peak_tile_bytes,
+                    "total_bytes": report.total_bytes,
+                    "variable_bytes": breakdown.variables,
+                    "overhead_bytes": breakdown.overhead,
+                },
+            )
     if check_fit and not report.fits:
         bad = report.over_capacity_tiles()
         raise IPUOutOfMemoryError(

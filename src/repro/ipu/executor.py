@@ -22,6 +22,7 @@ import numpy as np
 from repro.ipu.compiler import CompiledGraph
 from repro.ipu.exchange import ExchangeModel
 from repro.ipu.vertices import CODELETS, vertex_cycles
+from repro.obs import get_tracer
 from repro.utils import format_seconds
 
 __all__ = ["StepTiming", "ExecutionReport", "Executor"]
@@ -137,6 +138,57 @@ class Executor:
         host_s = nbytes / self.spec.effective_host_bandwidth
         return StepTiming(name=f"{kind} {var}", kind=kind, host_s=host_s)
 
+    #: Virtual tracer track the executor's simulated timeline lives on.
+    TRACE_TRACK = "ipu"
+
+    def _trace_report(self, report: ExecutionReport) -> None:
+        """Emit the report as spans on the simulated-IPU timeline.
+
+        One top-level span per program step (category = step kind, with
+        the compute/exchange/sync/host split as attributes) plus nested
+        phase spans, so the Chrome trace shows exactly the BSP structure.
+        Span durations match :class:`StepTiming` totals exactly.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        track = self.TRACE_TRACK
+        graph_name = self.graph.name
+        if report.engine_overhead_s > 0:
+            tracer.add_span(
+                "engine_overhead",
+                report.engine_overhead_s,
+                track,
+                category="overhead",
+                graph=graph_name,
+            )
+        for step in report.steps:
+            t0 = tracer.cursor(track)
+            tracer.add_span(
+                step.name,
+                step.total_s,
+                track,
+                category=step.kind,
+                graph=graph_name,
+                compute_s=step.compute_s,
+                exchange_s=step.exchange_s,
+                sync_s=step.sync_s,
+                host_s=step.host_s,
+            )
+            offset = t0
+            for phase in ("compute", "exchange", "sync", "host"):
+                duration = getattr(step, f"{phase}_s")
+                if duration > 0:
+                    tracer.add_span(
+                        phase,
+                        duration,
+                        track,
+                        category="phase",
+                        start_s=offset,
+                        depth=1,
+                    )
+                    offset += duration
+
     def estimate(self) -> ExecutionReport:
         """Time the program without executing numerics."""
         report = ExecutionReport(
@@ -149,6 +201,7 @@ class Executor:
                 report.steps.append(self._copy_timing(*step.ref))
             else:
                 report.steps.append(self._host_timing(step.ref, step.kind))
+        self._trace_report(report)
         return report
 
     # -- numeric execution -----------------------------------------------------
@@ -187,18 +240,24 @@ class Executor:
         report = ExecutionReport(
             engine_overhead_s=self.spec.engine_run_overhead_s
         )
-        for step in self.graph.program:
-            if step.kind == "compute":
-                cs = self.graph.compute_sets[step.ref]
-                for vertex in self.graph.vertices_in(cs):
-                    CODELETS[vertex.codelet].execute(vertex, state)
-                report.steps.append(self._compute_set_timing(step.ref))
-            elif step.kind == "copy":
-                src, dst = step.ref
-                state[dst] = state[src].reshape(
-                    self.graph.variables[dst].shape
-                ).copy()
-                report.steps.append(self._copy_timing(src, dst))
-            else:
-                report.steps.append(self._host_timing(step.ref, step.kind))
+        with get_tracer().span(
+            "executor.run", category="ipu", graph=self.graph.name
+        ):
+            for step in self.graph.program:
+                if step.kind == "compute":
+                    cs = self.graph.compute_sets[step.ref]
+                    for vertex in self.graph.vertices_in(cs):
+                        CODELETS[vertex.codelet].execute(vertex, state)
+                    report.steps.append(self._compute_set_timing(step.ref))
+                elif step.kind == "copy":
+                    src, dst = step.ref
+                    state[dst] = state[src].reshape(
+                        self.graph.variables[dst].shape
+                    ).copy()
+                    report.steps.append(self._copy_timing(src, dst))
+                else:
+                    report.steps.append(
+                        self._host_timing(step.ref, step.kind)
+                    )
+        self._trace_report(report)
         return state, report

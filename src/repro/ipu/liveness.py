@@ -18,7 +18,7 @@ via :meth:`Executor.run`) are conservatively live for the whole program.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

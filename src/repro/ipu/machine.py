@@ -11,7 +11,7 @@ fields with documented provenance, so ablation benchmarks can sweep them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils import KiB, MiB
 

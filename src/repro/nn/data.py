@@ -57,6 +57,14 @@ class DataLoader:
 
     Iterating yields ``(x_batch, y_batch)`` numpy pairs.  Reshuffles each
     epoch from its own generator so epochs differ but runs are reproducible.
+
+    An integer (or ``None``) seed is expanded into a *spawned* child
+    stream rather than used directly: experiment drivers routinely pass
+    one seed to both :func:`train_val_split` and their loaders, and with
+    ``default_rng(seed)`` on both sides the validation-split permutation
+    and the first epoch's shuffle would be the *same* permutation.  The
+    spawned stream is still deterministic per seed but independent of
+    every direct ``default_rng(seed)`` consumer.
     """
 
     def __init__(
@@ -73,7 +81,12 @@ class DataLoader:
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
-        self.rng = as_rng(seed)
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(
+                np.random.SeedSequence(seed).spawn(1)[0]
+            )
 
     def __len__(self) -> int:
         n = len(self.dataset)

@@ -21,19 +21,28 @@ from repro.nn.losses import accuracy, cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
 from repro.nn.tensor import Tensor, no_grad
+from repro.obs import get_tracer
 
 __all__ = ["TrainingHistory", "Trainer"]
 
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch metrics plus integrated device times."""
+    """Per-epoch metrics plus integrated device times.
+
+    ``train_time_s`` and ``val_time_s`` separate the optimisation loop
+    from validation passes (the paper's Table 4 wall-clock protocol times
+    training only); ``wall_time_s`` stays their sum for backward
+    compatibility.
+    """
 
     train_loss: list[float] = field(default_factory=list)
     train_accuracy: list[float] = field(default_factory=list)
     val_loss: list[float] = field(default_factory=list)
     val_accuracy: list[float] = field(default_factory=list)
     wall_time_s: float = 0.0
+    train_time_s: float = 0.0
+    val_time_s: float = 0.0
     steps: int = 0
     device_time_s: dict[str, float] = field(default_factory=dict)
 
@@ -94,38 +103,71 @@ class Trainer:
     ) -> TrainingHistory:
         """Train for *epochs* and return the collected history."""
         history = TrainingHistory()
-        t0 = time.perf_counter()
-        for epoch in range(epochs):
-            losses: list[float] = []
-            accs: list[float] = []
-            for x, y in train_loader:
-                loss, acc = self.train_step(x, y)
-                losses.append(loss)
-                accs.append(acc)
-                history.steps += 1
-                for name, model in self.step_time_models.items():
-                    history.device_time_s[name] = history.device_time_s.get(
-                        name, 0.0
-                    ) + model(len(y))
-            history.train_loss.append(float(np.mean(losses)) if losses else 0.0)
-            history.train_accuracy.append(
-                float(np.mean(accs)) if accs else 0.0
-            )
-            if val_loader is not None:
-                vl, va = self.evaluate(val_loader)
-                history.val_loss.append(vl)
-                history.val_accuracy.append(va)
-            if verbose:
-                msg = (
-                    f"epoch {epoch + 1}/{epochs} "
-                    f"loss={history.train_loss[-1]:.4f} "
-                    f"acc={history.train_accuracy[-1]:.3f}"
+        tracer = get_tracer()
+        with tracer.span(
+            "trainer.fit", category="train", epochs=epochs
+        ) as fit_span:
+            for epoch in range(epochs):
+                losses: list[float] = []
+                accs: list[float] = []
+                t0 = time.perf_counter()
+                with tracer.span(
+                    "epoch", category="train", epoch=epoch
+                ):
+                    for x, y in train_loader:
+                        if tracer.enabled:
+                            with tracer.span("train_step", category="train"):
+                                loss, acc = self.train_step(x, y)
+                            tracer.counter(
+                                "train", {"loss": loss, "accuracy": acc}
+                            )
+                        else:
+                            loss, acc = self.train_step(x, y)
+                        losses.append(loss)
+                        accs.append(acc)
+                        history.steps += 1
+                        for name, model in self.step_time_models.items():
+                            history.device_time_s[name] = (
+                                history.device_time_s.get(name, 0.0)
+                                + model(len(y))
+                            )
+                history.train_time_s += time.perf_counter() - t0
+                history.train_loss.append(
+                    float(np.mean(losses)) if losses else 0.0
+                )
+                history.train_accuracy.append(
+                    float(np.mean(accs)) if accs else 0.0
                 )
                 if val_loader is not None:
-                    msg += (
-                        f" val_loss={history.val_loss[-1]:.4f} "
-                        f"val_acc={history.val_accuracy[-1]:.3f}"
+                    t0 = time.perf_counter()
+                    with tracer.span(
+                        "validate", category="eval", epoch=epoch
+                    ):
+                        vl, va = self.evaluate(val_loader)
+                    history.val_time_s += time.perf_counter() - t0
+                    history.val_loss.append(vl)
+                    history.val_accuracy.append(va)
+                    if tracer.enabled:
+                        tracer.counter(
+                            "val", {"loss": vl, "accuracy": va}
+                        )
+                if verbose:
+                    msg = (
+                        f"epoch {epoch + 1}/{epochs} "
+                        f"loss={history.train_loss[-1]:.4f} "
+                        f"acc={history.train_accuracy[-1]:.3f}"
                     )
-                print(msg)
-        history.wall_time_s = time.perf_counter() - t0
+                    if val_loader is not None:
+                        msg += (
+                            f" val_loss={history.val_loss[-1]:.4f} "
+                            f"val_acc={history.val_accuracy[-1]:.3f}"
+                        )
+                    print(msg)
+            history.wall_time_s = history.train_time_s + history.val_time_s
+            if tracer.enabled:
+                fit_span.attributes.update(
+                    steps=history.steps,
+                    train_time_s=history.train_time_s,
+                    val_time_s=history.val_time_s,
+                )
         return history

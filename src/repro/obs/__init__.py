@@ -1,0 +1,54 @@
+"""Structured tracing and metrics (the PopVision-analyzer stand-in).
+
+The simulators compute per-step compute/exchange/sync splits, per-kernel
+times and per-tile memory maps, then historically threw them away after
+rendering a text table.  This package keeps them: a :class:`Tracer`
+records nested spans (wall-clock on the host track, simulated time on
+virtual device tracks) and counters, and the exporters turn a trace into
+a Chrome ``trace_event`` JSON (loadable in ``chrome://tracing`` /
+Perfetto) or a text flame summary.
+
+Tracing is **off by default** and zero-cost when disabled: the module
+installs a :data:`NULL_TRACER` whose every method is a no-op, so the
+instrumented code paths change neither behavior nor timing-model output.
+Enable it around a region with::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        run_experiment()
+    obs.write_chrome_trace(tracer, "trace.json")
+    print(obs.flame_summary(tracer))
+
+or from the command line with ``python -m repro trace <artefact>``.
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CounterRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.obs.export import (
+    flame_summary,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "CounterRecord",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "flame_summary",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

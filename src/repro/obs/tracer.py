@@ -1,0 +1,263 @@
+"""The tracer: nested spans and counters on host and virtual timelines.
+
+Two kinds of track coexist in one trace:
+
+* the **host** track records wall-clock intervals, measured with
+  :func:`time.perf_counter` by the :meth:`Tracer.span` context manager
+  (compilation phases, training epochs/steps, timing-harness runs);
+* **virtual** tracks record *simulated* time: the IPU executor and the
+  GPU kernel models place spans with explicit durations from their cost
+  models via :meth:`Tracer.add_span`, each track keeping its own cursor
+  so successive program steps abut exactly.
+
+All timestamps are seconds relative to the tracer's creation (host) or
+to zero (virtual), which keeps the exported Chrome trace timeline dense.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "SpanRecord",
+    "CounterRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+#: The track name used for wall-clock spans.
+HOST_TRACK = "host"
+
+
+@dataclass
+class SpanRecord:
+    """One completed span: a named interval on one track."""
+
+    name: str
+    category: str
+    track: str
+    start_s: float
+    duration_s: float
+    depth: int = 0
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class CounterRecord:
+    """A named sample of one or more numeric series at a point in time."""
+
+    name: str
+    track: str
+    time_s: float
+    values: dict
+
+
+class Tracer:
+    """Records spans and counters; cheap enough to thread everywhere."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []
+        self.counters: list[CounterRecord] = []
+        self._origin = time.perf_counter()
+        self._host_stack: list[SpanRecord] = []
+        self._cursors: dict[str, float] = {}
+
+    # -- wall-clock spans ------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this tracer was created."""
+        return time.perf_counter() - self._origin
+
+    @contextmanager
+    def span(
+        self, name: str, category: str = "host", **attributes: object
+    ) -> Iterator[SpanRecord]:
+        """Measure a wall-clock interval on the host track.
+
+        Yields the (mutable) record so callers can attach attributes
+        discovered during the span.  Nesting depth follows the dynamic
+        call structure.
+        """
+        record = SpanRecord(
+            name=name,
+            category=category,
+            track=HOST_TRACK,
+            start_s=self.now(),
+            duration_s=0.0,
+            depth=len(self._host_stack),
+            attributes=dict(attributes),
+        )
+        self._host_stack.append(record)
+        try:
+            yield record
+        finally:
+            record.duration_s = self.now() - record.start_s
+            self._host_stack.pop()
+            self.spans.append(record)
+
+    # -- virtual (simulated-time) spans ---------------------------------------
+
+    def cursor(self, track: str) -> float:
+        """Current end-of-timeline position of a virtual track."""
+        return self._cursors.get(track, 0.0)
+
+    def add_span(
+        self,
+        name: str,
+        duration_s: float,
+        track: str,
+        category: str = "sim",
+        start_s: float | None = None,
+        depth: int = 0,
+        **attributes: object,
+    ) -> SpanRecord:
+        """Place a span with an explicit duration on a virtual track.
+
+        Without ``start_s`` the span is appended at the track cursor; the
+        cursor only advances for top-level (``depth == 0``) spans, so
+        nested phase spans can be placed inside their parent's interval.
+        """
+        start = self.cursor(track) if start_s is None else start_s
+        record = SpanRecord(
+            name=name,
+            category=category,
+            track=track,
+            start_s=start,
+            duration_s=duration_s,
+            depth=depth,
+            attributes=dict(attributes),
+        )
+        self.spans.append(record)
+        if depth == 0:
+            self._cursors[track] = max(
+                self.cursor(track), start + duration_s
+            )
+        return record
+
+    # -- counters --------------------------------------------------------------
+
+    def counter(
+        self,
+        name: str,
+        values: dict | float,
+        track: str = HOST_TRACK,
+        time_s: float | None = None,
+    ) -> None:
+        """Sample one or more numeric series.
+
+        A bare float is recorded as series ``{"value": x}``.  The sample
+        time defaults to "now": wall clock on the host track, the track
+        cursor on virtual tracks.
+        """
+        if not isinstance(values, dict):
+            values = {"value": float(values)}
+        if time_s is None:
+            time_s = self.now() if track == HOST_TRACK else self.cursor(track)
+        self.counters.append(
+            CounterRecord(name=name, track=track, time_s=time_s, values=values)
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def tracks(self) -> list[str]:
+        """All track names, host first, in order of first appearance."""
+        seen: dict[str, None] = {HOST_TRACK: None}
+        for record in self.spans:
+            seen.setdefault(record.track, None)
+        for record in self.counters:
+            seen.setdefault(record.track, None)
+        return list(seen)
+
+    def spans_on(self, track: str) -> list[SpanRecord]:
+        return [s for s in self.spans if s.track == track]
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager; yields a throwaway record."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> SpanRecord:
+        return SpanRecord(
+            name="", category="", track="", start_s=0.0, duration_s=0.0
+        )
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: records nothing, every call is O(1) and tiny.
+
+    Hot loops additionally guard on :attr:`enabled` so the disabled path
+    costs a single attribute check per iteration.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # avoid perf_counter at import
+        self.spans = []
+        self.counters = []
+        self._origin = 0.0
+        self._host_stack = []
+        self._cursors = {}
+
+    def span(self, name, category="host", **attributes):  # type: ignore[override]
+        return _NULL_SPAN_CONTEXT
+
+    def add_span(self, name, duration_s, track, **kwargs):  # type: ignore[override]
+        return _NULL_SPAN_CONTEXT.__enter__()
+
+    def counter(self, name, values, track=HOST_TRACK, time_s=None):
+        return None
+
+
+#: The module-level singleton installed when tracing is off.
+NULL_TRACER = NullTracer()
+
+_current: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently installed tracer (the null tracer by default)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install *tracer* globally (``None`` restores the null tracer)."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install a tracer for the duration of a ``with`` block.
+
+    Creates a fresh :class:`Tracer` unless one is supplied; restores the
+    previously installed tracer on exit (exception-safe), so traced
+    regions can nest.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

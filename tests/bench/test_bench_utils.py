@@ -41,6 +41,30 @@ class TestHarness:
         result = time_callable(lambda: None, repeats=5)
         assert result.cv >= 0
 
+    def test_records_requested_vs_effective_repeats(self):
+        result = time_callable(
+            lambda: time.sleep(0.05), repeats=1000, max_total_s=0.2
+        )
+        assert result.requested_repeats == 1000
+        assert result.repeats < result.requested_repeats
+        assert result.capped
+
+    def test_cv_nan_when_budget_collapses_to_one_sample(self):
+        # A single call exceeding the budget used to yield std=0 and
+        # cv=0.0 — "perfectly stable" from one sample.  It must be NaN.
+        result = time_callable(
+            lambda: time.sleep(0.02), repeats=10, max_total_s=0.01
+        )
+        assert result.repeats == 1
+        assert np.isnan(result.cv)
+        assert result.requested_repeats == 10
+
+    def test_uncapped_run_not_flagged(self):
+        result = time_callable(lambda: None, repeats=3)
+        assert result.repeats == 3
+        assert result.requested_repeats == 3
+        assert not result.capped
+
 
 class TestFlops:
     def test_gflops(self):

@@ -115,8 +115,6 @@ class TestLoaders:
         # A model trained on train should generalise to test: cheap proxy —
         # the planted supports produce correlated class statistics.
         train, test = load_cifar10(n_train=2000, n_test=500, seed=0)
-        from repro.datasets.cifar10 import cifar10_spec
-
         # Use class-mean absolute correlation in unmixed space.
         assert train.x.std() == pytest.approx(test.x.std(), rel=0.1)
 

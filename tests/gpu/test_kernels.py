@@ -1,6 +1,5 @@
 """Tests for GPU kernel cost models."""
 
-import numpy as np
 import pytest
 
 from repro.gpu.kernels import (

@@ -1,6 +1,5 @@
 """Tests for the `python -m repro` command-line entry point."""
 
-import pathlib
 
 import pytest
 

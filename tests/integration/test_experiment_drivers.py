@@ -1,6 +1,5 @@
 """Smoke tests: every experiment driver runs and renders (reduced budgets)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

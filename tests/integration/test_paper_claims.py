@@ -6,7 +6,6 @@ import pytest
 
 from repro import nn
 from repro.experiments import fig3, fig4, fig6
-from repro.gpu.machine import A30
 from repro.gpu.simulator import GPUDevice
 from repro.ipu.machine import GC200
 from repro.ipu.poptorch import IPUModule

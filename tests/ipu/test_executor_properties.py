@@ -103,6 +103,38 @@ def test_timing_monotone_in_pipeline_depth(seed, n_stages):
     assert t2 > t1
 
 
+def _step_tuples(report):
+    return [
+        (s.name, s.kind, s.compute_s, s.exchange_s, s.sync_s, s.host_s)
+        for s in report.steps
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 4),
+    st.integers(1, 30),
+)
+def test_estimate_and_run_report_identical_timings(seed, n_stages, size):
+    """estimate() and run() agree step-for-step, traced or not."""
+    from repro import obs
+
+    graph, _ = build_random_pipeline(seed, n_stages, size)
+    executor = Executor(compile_graph(graph, GC200))
+    x = np.random.default_rng(seed).standard_normal(size)
+    estimated = executor.estimate()
+    _, executed = executor.run({"v0": x})
+    assert _step_tuples(estimated) == _step_tuples(executed)
+    assert estimated.total_s == executed.total_s
+    with obs.tracing():
+        traced_estimate = executor.estimate()
+        _, traced_run = executor.run({"v0": x})
+    assert _step_tuples(traced_estimate) == _step_tuples(estimated)
+    assert _step_tuples(traced_run) == _step_tuples(executed)
+    assert traced_estimate.total_s == estimated.total_s
+
+
 @settings(max_examples=15, deadline=None)
 @given(st.integers(0, 2**31 - 1), st.integers(1, 4), st.integers(1, 30))
 def test_compiler_per_tile_sums_to_total(seed, n_stages, size):

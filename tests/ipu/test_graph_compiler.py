@@ -1,6 +1,5 @@
 """Tests for the IPU dataflow graph and the memory-accounting compiler."""
 
-import numpy as np
 import pytest
 
 from repro.ipu.compiler import IPUOutOfMemoryError, compile_graph

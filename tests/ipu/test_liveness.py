@@ -1,6 +1,5 @@
 """Tests for the liveness analysis."""
 
-import numpy as np
 import pytest
 
 from repro import nn

@@ -1,6 +1,5 @@
 """Tests for the IPU machine model and exchange fabric."""
 
-import numpy as np
 import pytest
 
 from repro.ipu.exchange import ExchangeModel

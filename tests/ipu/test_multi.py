@@ -1,6 +1,5 @@
 """Tests for the multi-IPU / streaming-memory extension (paper future work)."""
 
-import numpy as np
 import pytest
 
 from repro import nn

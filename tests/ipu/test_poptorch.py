@@ -1,6 +1,5 @@
 """Tests for the PopTorch-style nn -> IPU bridge."""
 
-import numpy as np
 import pytest
 
 from repro import nn

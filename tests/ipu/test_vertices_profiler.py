@@ -1,6 +1,5 @@
 """Tests for codelet cost models and the profiler."""
 
-import numpy as np
 import pytest
 
 from repro.ipu.graph import Edge, Graph, Vertex

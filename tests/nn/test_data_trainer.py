@@ -92,6 +92,32 @@ class TestDataLoader:
         with pytest.raises(ValueError):
             DataLoader(toy_dataset(5), batch_size=0)
 
+    def test_same_seed_same_order(self):
+        ds = toy_dataset(40)
+        a = next(iter(DataLoader(ds, batch_size=40, seed=3)))[0]
+        b = next(iter(DataLoader(ds, batch_size=40, seed=3)))[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_loader_stream_independent_of_split_seed(self):
+        # Regression: DataLoader and train_val_split both default to
+        # seed=0, and the loader's first-epoch shuffle used to be the
+        # exact same permutation as the split's.
+        n = 64
+        ds = ArrayDataset(np.arange(n), np.arange(n))
+        split_perm = np.random.default_rng(0).permutation(n)
+        loader = DataLoader(ds, batch_size=n, seed=0)
+        epoch_perm = next(iter(loader))[0]
+        assert not np.array_equal(epoch_perm, split_perm)
+
+    def test_generator_seed_still_shared(self):
+        # Passing an explicit Generator keeps the shared-stream contract.
+        n = 16
+        ds = ArrayDataset(np.arange(n), np.arange(n))
+        rng = np.random.default_rng(9)
+        expected = np.random.default_rng(9).permutation(n)
+        loader = DataLoader(ds, batch_size=n, seed=rng)
+        np.testing.assert_array_equal(next(iter(loader))[0], expected)
+
 
 class TestTrainer:
     def _trainer(self, lr=0.05):
@@ -125,6 +151,30 @@ class TestTrainer:
         assert len(history.val_accuracy) == 3
         assert history.steps == 3 * len(DataLoader(tr, 16))
         assert history.wall_time_s > 0
+
+    def test_train_val_time_split(self):
+        # Regression: validation passes used to be folded into the
+        # training wall clock, skewing the Table 4 protocol.
+        ds = toy_dataset(60)
+        tr, va = train_val_split(ds, 0.2, seed=0)
+        trainer = self._trainer()
+        history = trainer.fit(
+            DataLoader(tr, 16, seed=0),
+            DataLoader(va, 16, shuffle=False),
+            epochs=2,
+        )
+        assert history.train_time_s > 0
+        assert history.val_time_s > 0
+        assert history.wall_time_s == pytest.approx(
+            history.train_time_s + history.val_time_s
+        )
+
+    def test_no_val_loader_means_zero_val_time(self):
+        ds = toy_dataset(40)
+        trainer = self._trainer()
+        history = trainer.fit(DataLoader(ds, 20, seed=0), epochs=1)
+        assert history.val_time_s == 0.0
+        assert history.wall_time_s == pytest.approx(history.train_time_s)
 
     def test_device_time_models_integrate(self):
         ds = toy_dataset(40)

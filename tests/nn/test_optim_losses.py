@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.nn import Parameter, Tensor
 from repro.nn.losses import accuracy, cross_entropy, mse_loss
 from repro.nn.optim import SGD, Adam

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.nn import Parameter, Tensor, no_grad
-from repro.nn import functional as F
 
 
 class TestBasics:

@@ -1,0 +1,266 @@
+"""Integration: the tracer threaded through executor, compiler, GPU,
+trainer and CLI.
+
+Includes the PR's acceptance checks: compute-set span durations on the
+simulated-IPU track sum exactly to the :class:`ExecutionReport`
+breakdown, and rendering with tracing disabled is byte-identical to the
+untraced seed behavior.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn, obs
+from repro.gpu.torchsim import GPUModule
+from repro.ipu.compiler import compile_graph
+from repro.ipu.executor import Executor
+from repro.ipu.machine import GC200
+from repro.ipu.poplin import build_matmul_graph
+
+
+def small_executor(m=8, n=8, k=8) -> Executor:
+    graph, _ = build_matmul_graph(GC200, m, n, k)
+    return Executor(compile_graph(graph, GC200, check_fit=False))
+
+
+class TestExecutorTracing:
+    def test_step_spans_sum_to_report_breakdown(self):
+        """Acceptance: span durations == ExecutionReport totals (1e-9)."""
+        with obs.tracing() as tracer:
+            report = small_executor().estimate()
+        steps = [
+            s
+            for s in tracer.spans_on(Executor.TRACE_TRACK)
+            if s.depth == 0 and s.category != "overhead"
+        ]
+        assert len(steps) == len(report.steps)
+        total = sum(s.duration_s for s in steps)
+        assert total == pytest.approx(
+            report.total_s - report.engine_overhead_s, abs=1e-9
+        )
+        compute_spans = [s for s in steps if s.category == "compute"]
+        assert sum(
+            s.attributes["compute_s"] for s in compute_spans
+        ) == pytest.approx(report.compute_s, abs=1e-9)
+        assert sum(
+            s.attributes["exchange_s"] for s in steps
+        ) == pytest.approx(report.exchange_s, abs=1e-9)
+        assert sum(s.attributes["sync_s"] for s in steps) == pytest.approx(
+            report.sync_s, abs=1e-9
+        )
+
+    def test_overhead_span_matches(self):
+        with obs.tracing() as tracer:
+            report = small_executor().estimate()
+        overhead = [
+            s
+            for s in tracer.spans_on(Executor.TRACE_TRACK)
+            if s.category == "overhead"
+        ]
+        assert len(overhead) == 1
+        assert overhead[0].duration_s == pytest.approx(
+            report.engine_overhead_s, abs=1e-12
+        )
+
+    def test_phase_spans_nested_inside_steps(self):
+        with obs.tracing() as tracer:
+            small_executor().estimate()
+        spans = tracer.spans_on(Executor.TRACE_TRACK)
+        phases = [s for s in spans if s.depth == 1]
+        assert phases, "expected nested phase spans"
+        steps = [s for s in spans if s.depth == 0]
+        for phase in phases:
+            assert any(
+                step.start_s - 1e-12 <= phase.start_s
+                and phase.end_s <= step.end_s + 1e-12
+                for step in steps
+            )
+
+    def test_run_traces_like_estimate(self):
+        executor = small_executor(4, 4, 4)
+        with obs.tracing() as t_est:
+            executor.estimate()
+        with obs.tracing() as t_run:
+            executor.run(
+                {
+                    "A": np.ones((4, 4)),
+                    "B": np.ones((4, 4)),
+                }
+            )
+        est = [
+            (s.name, s.category, s.duration_s)
+            for s in t_est.spans_on(Executor.TRACE_TRACK)
+        ]
+        run = [
+            (s.name, s.category, s.duration_s)
+            for s in t_run.spans_on(Executor.TRACE_TRACK)
+        ]
+        assert run == est
+
+    def test_disabled_tracer_records_nothing(self):
+        small_executor().estimate()
+        assert obs.get_tracer().spans == []
+
+
+class TestCompilerTracing:
+    def test_compile_phases_and_memory_counter(self):
+        graph, _ = build_matmul_graph(GC200, 8, 8, 8)
+        with obs.tracing() as tracer:
+            compiled = compile_graph(graph, GC200, check_fit=False)
+        names = {s.name for s in tracer.spans_on("host")}
+        assert "compile_graph" in names
+        assert "compile.map_variables" in names
+        assert "compile.map_vertices" in names
+        assert "compile.account_supersteps" in names
+        counter = next(
+            c for c in tracer.counters if c.name == "compile.memory"
+        )
+        assert counter.values["peak_tile_bytes"] == pytest.approx(
+            compiled.memory.peak_tile_bytes
+        )
+        assert counter.values["total_bytes"] == pytest.approx(
+            compiled.memory.total_bytes
+        )
+
+    def test_compile_span_attributes(self):
+        graph, _ = build_matmul_graph(GC200, 8, 8, 8)
+        with obs.tracing() as tracer:
+            compile_graph(graph, GC200, check_fit=False)
+        span = next(s for s in tracer.spans if s.name == "compile_graph")
+        assert span.attributes["n_vertices"] == graph.n_vertices
+        assert span.attributes["fits"] in (True, False)
+
+
+class TestGPUTracing:
+    def test_kernel_spans_sum_to_forward_time(self):
+        model = nn.Sequential(nn.Linear(64, 64, seed=0), nn.ReLU())
+        module = GPUModule(model, in_features=64, batch=32)
+        with obs.tracing() as tracer:
+            fwd = module.forward_time()
+        spans = tracer.spans_on(GPUModule.TRACE_TRACK)
+        assert sum(s.duration_s for s in spans) == pytest.approx(
+            fwd, abs=1e-12
+        )
+        assert all(s.category == "kernel" for s in spans)
+
+    def test_training_step_spans_sum_to_step_time(self):
+        model = nn.Sequential(nn.Linear(32, 32, seed=0))
+        module = GPUModule(model, in_features=32, batch=16)
+        with obs.tracing() as tracer:
+            step = module.training_step_time()
+        spans = tracer.spans_on(GPUModule.TRACE_TRACK)
+        assert sum(s.duration_s for s in spans) == pytest.approx(
+            step, abs=1e-12
+        )
+
+
+class TestTrainerTracing:
+    def _fit(self, tracer_enabled: bool):
+        rng = np.random.default_rng(0)
+        ds = nn.ArrayDataset(
+            rng.standard_normal((40, 8)), rng.integers(0, 3, 40)
+        )
+        model = nn.Sequential(nn.Linear(8, 3, seed=0))
+        trainer = nn.Trainer(model, nn.SGD(model.parameters(), lr=0.01))
+        loaders = dict(
+            train_loader=nn.DataLoader(ds, 10, seed=0),
+            val_loader=nn.DataLoader(ds, 20, shuffle=False),
+        )
+        if tracer_enabled:
+            with obs.tracing() as tracer:
+                history = trainer.fit(**loaders, epochs=2)
+            return history, tracer
+        return trainer.fit(**loaders, epochs=2), None
+
+    def test_epoch_and_step_spans(self):
+        history, tracer = self._fit(True)
+        names = [s.name for s in tracer.spans_on("host")]
+        assert names.count("epoch") == 2
+        assert names.count("validate") == 2
+        assert names.count("train_step") == history.steps
+        assert names.count("trainer.fit") == 1
+
+    def test_loss_accuracy_counters(self):
+        history, tracer = self._fit(True)
+        train_samples = [c for c in tracer.counters if c.name == "train"]
+        assert len(train_samples) == history.steps
+        assert {"loss", "accuracy"} <= set(train_samples[0].values)
+        val_samples = [c for c in tracer.counters if c.name == "val"]
+        assert len(val_samples) == 2
+
+    def test_history_identical_with_and_without_tracer(self):
+        h_off, _ = self._fit(False)
+        h_on, _ = self._fit(True)
+        assert h_off.train_loss == h_on.train_loss
+        assert h_off.val_accuracy == h_on.val_accuracy
+        assert h_off.steps == h_on.steps
+
+
+class TestZeroCostWhenDisabled:
+    def test_fig5_render_byte_identical_under_tracing(self):
+        from repro.experiments import fig5
+
+        baseline = fig5.render()
+        with obs.tracing():
+            traced = fig5.render()
+        assert traced == baseline
+
+    def test_fig6_panel_byte_identical_under_tracing(self):
+        from repro.experiments import fig6
+
+        baseline = fig6.render(sizes=[128])
+        with obs.tracing():
+            traced = fig6.render(sizes=[128])
+        assert traced == baseline
+
+
+class TestTraceCLI:
+    def test_trace_fig5_writes_valid_chrome_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", "fig5", "--out", str(tmp_path)]) == 0
+        doc = json.loads((tmp_path / "fig5.trace.json").read_text())
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        assert (tmp_path / "fig5.flame.txt").exists()
+        out = capsys.readouterr().out
+        assert "compile_graph" in out  # flame summary printed
+
+    def test_trace_fig6_compute_set_spans_match_report(self, tmp_path):
+        """Acceptance: the shipped fig6 trace is internally consistent."""
+        from repro.__main__ import main
+
+        assert main(["trace", "fig6", "--out", str(tmp_path)]) == 0
+        doc = json.loads((tmp_path / "fig6.trace.json").read_text())
+        ipu_tid = next(
+            e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+            and e["name"] == "thread_name"
+            and e["args"]["name"] == "ipu"
+        )
+        steps = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X"
+            and e["tid"] == ipu_tid
+            and e["cat"] not in ("phase",)
+        ]
+        assert steps
+        # Per-step attribute split sums to the span duration (in us).
+        for event in steps:
+            if event["cat"] == "overhead":
+                continue
+            split = sum(
+                event["args"][k]
+                for k in ("compute_s", "exchange_s", "sync_s", "host_s")
+            )
+            assert split * 1e6 == pytest.approx(event["dur"], abs=1e-3)
+
+    def test_trace_unknown_artefact_errors(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["trace", "nope", "--out", str(tmp_path)])
