@@ -19,6 +19,9 @@ Subpackages
     Synthetic CIFAR-10/MNIST with planted butterfly structure.
 ``repro.experiments``
     One driver per paper table/figure.
+``repro.faults``
+    Deterministic fault injection, atomic checkpoint/resume and the
+    chaos-testing harness (``python -m repro chaos``).
 ``repro.bench``
     Timing harness and table rendering.
 

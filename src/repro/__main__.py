@@ -7,12 +7,16 @@ Usage::
     python -m repro all                  # everything except the slow ones
     python -m repro all --full           # everything, paper-scale budgets
     python -m repro trace fig6           # run one artefact under the tracer
+    python -m repro chaos --seed 0       # fault-injection suite (RESILIENCE.md)
 
 Each artefact prints to stdout; pass ``--out DIR`` to also write
 ``DIR/<name>.txt`` files.  ``trace`` runs a single artefact with the
 :mod:`repro.obs` tracer enabled and writes a Chrome ``trace_event`` JSON
 (open in ``chrome://tracing`` / Perfetto) next to the benchmark outputs,
-plus a flame summary to stdout — see docs/OBSERVABILITY.md.
+plus a flame summary to stdout — see docs/OBSERVABILITY.md.  ``chaos``
+runs the fault-injection/recovery suite (seeded faults, kill/resume,
+degraded-tile sweep) and exits nonzero on any unrecovered fault or
+replay/resume mismatch — see docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
@@ -167,18 +171,54 @@ def trace_main(argv: list[str]) -> int:
     return 0
 
 
+def chaos_main(argv: list[str]) -> int:
+    """``python -m repro chaos``: run the fault-injection suite."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Inject seeded faults into the simulator and trainer, "
+        "verify recovery, replay determinism, bit-identical kill/resume "
+        "and the degraded-tile sweep.  Exits 1 on any failure.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default 0)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small models and budgets (CI-sized, a few seconds)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="also write DIR/chaos.txt",
+    )
+    args = parser.parse_args(argv)
+    # Imported lazily: the chaos harness pulls in the experiment configs.
+    from repro.faults.chaos import run_chaos
+
+    text, ok = run_chaos(seed=args.seed, smoke=args.smoke)
+    print(text)
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "chaos.txt").write_text(text + "\n")
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )
     parser.add_argument(
         "artefacts",
         nargs="+",
-        help="artefact names, 'all', 'list', or 'trace <name>'",
+        help="artefact names, 'all', 'list', 'trace <name>', or 'chaos'",
     )
     parser.add_argument(
         "--full",

@@ -58,12 +58,19 @@ def time_callable(
     repeats: int = 10,
     warmup: int = 2,
     max_total_s: float = 5.0,
+    sample_hook: Callable[[int, float], None] | None = None,
 ) -> TimingResult:
     """Time ``fn()`` with warmup, capping total wall time.
 
     The repeat count shrinks automatically when a single call would blow
     the ``max_total_s`` budget (the profiling guides' ~10s sweet spot);
     the result records both the requested and effective repeat counts.
+
+    ``sample_hook(index, seconds)`` is called after each timed sample —
+    the extension point the chaos/robustness benchmarks use to observe
+    per-repeat behaviour (e.g. retry-time spikes under fault injection)
+    without re-implementing the measurement protocol.  Hook time is not
+    counted against the samples.
     """
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
@@ -77,13 +84,17 @@ def time_callable(
         t0 = time.perf_counter()
         fn()
         first = time.perf_counter() - t0
+        if sample_hook is not None:
+            sample_hook(0, first)
         if first > 0:
             repeats = max(1, min(repeats, int(max_total_s / first)))
         samples = [first]
-        for _ in range(repeats - 1):
+        for i in range(repeats - 1):
             t0 = time.perf_counter()
             fn()
             samples.append(time.perf_counter() - t0)
+            if sample_hook is not None:
+                sample_hook(i + 1, samples[-1])
         arr = np.asarray(samples)
         result = TimingResult(
             mean_s=float(arr.mean()),

@@ -141,12 +141,31 @@ class GraphProfile:
 
 @dataclass
 class CompiledGraph:
-    """A graph plus its compilation artefacts."""
+    """A graph plus its compilation artefacts.
+
+    ``excluded_tiles``/``tile_map`` record a degraded compilation: when
+    tiles are excluded (permanent tile failures), every logical tile of
+    the graph is folded onto a surviving physical tile and ``tile_map``
+    holds that logical -> physical mapping (``None`` for a healthy
+    compile, where the mapping is the identity).
+    """
 
     graph: Graph
     spec: IPUSpec
     memory: MemoryReport
     per_cs_tiles: list[set[int]] = field(default_factory=list)
+    excluded_tiles: frozenset[int] = frozenset()
+    tile_map: np.ndarray | None = None
+
+    @property
+    def n_surviving_tiles(self) -> int:
+        return self.spec.n_tiles - len(self.excluded_tiles)
+
+    def physical_tile(self, logical_tile: int) -> int:
+        """Physical tile a logical (graph) tile was placed on."""
+        if self.tile_map is None:
+            return logical_tile
+        return int(self.tile_map[logical_tile])
 
     def profile(self) -> GraphProfile:
         """Summarise into the Fig 5 quantities."""
@@ -163,13 +182,53 @@ class CompiledGraph:
         )
 
 
+def _tile_fold_map(
+    n_tiles: int, excluded: frozenset[int]
+) -> np.ndarray:
+    """Logical -> physical mapping folding work off excluded tiles.
+
+    Logical tiles are assigned round-robin over the surviving tiles, so a
+    degraded device carries ``n_tiles / n_surviving`` logical tiles per
+    physical tile.  Placement does not affect exchange cost (Observation
+    1: the fabric is distance-free), only per-tile memory and the
+    serialised compute of co-located logical tiles.
+    """
+    surviving = np.array(
+        [t for t in range(n_tiles) if t not in excluded], dtype=np.int64
+    )
+    return surviving[np.arange(n_tiles) % len(surviving)]
+
+
 def compile_graph(
-    graph: Graph, spec: IPUSpec, check_fit: bool = True
+    graph: Graph,
+    spec: IPUSpec,
+    check_fit: bool = True,
+    exclude_tiles: "frozenset[int] | set[int] | None" = None,
 ) -> CompiledGraph:
-    """Account memory for *graph* on *spec*; optionally raise on OOM."""
+    """Account memory for *graph* on *spec*; optionally raise on OOM.
+
+    ``exclude_tiles`` compiles the graph onto the surviving tile set
+    (graceful degradation after permanent tile failures): logical tiles
+    fold round-robin onto surviving physical tiles, concentrating both
+    memory and compute.  :class:`IPUOutOfMemoryError` is raised only when
+    the shrunk SRAM genuinely cannot hold the graph — which is how the
+    dead-tile-tolerance sweep quantifies that compressed (butterfly /
+    pixelfly) models survive far more failed tiles than the dense
+    baseline.
+    """
     if graph.n_tiles > spec.n_tiles:
         raise ValueError(
             f"graph built for {graph.n_tiles} tiles, spec has {spec.n_tiles}"
+        )
+    excluded = frozenset(int(t) for t in (exclude_tiles or ()))
+    for t in excluded:
+        if not 0 <= t < spec.n_tiles:
+            raise ValueError(
+                f"excluded tile {t} out of range [0, {spec.n_tiles})"
+            )
+    if len(excluded) >= spec.n_tiles:
+        raise ValueError(
+            f"cannot exclude all {spec.n_tiles} tiles of {spec.name}"
         )
     tracer = get_tracer()
     with tracer.span(
@@ -179,6 +238,7 @@ def compile_graph(
         n_vertices=graph.n_vertices,
         n_edges=graph.n_edges,
         n_compute_sets=graph.n_compute_sets,
+        n_excluded_tiles=len(excluded),
     ) as compile_span:
         per_tile = np.zeros(spec.n_tiles, dtype=np.float64)
 
@@ -233,6 +293,17 @@ def compile_graph(
             per_tile += recv_peak
         exchange_total = float(recv_peak.sum())
 
+        # Degraded compile: fold every logical tile's load onto its
+        # surviving physical tile (receive buffers of co-located logical
+        # tiles coexist, so the fold sums them too).
+        tile_map: np.ndarray | None = None
+        if excluded:
+            with tracer.span("compile.fold_degraded", category="compile"):
+                tile_map = _tile_fold_map(spec.n_tiles, excluded)
+                folded = np.zeros(spec.n_tiles, dtype=np.float64)
+                np.add.at(folded, tile_map, per_tile)
+                per_tile = folded
+
         breakdown = MemoryBreakdown(
             variables=var_total,
             vertex_state=vertex_total,
@@ -261,11 +332,19 @@ def compile_graph(
             )
     if check_fit and not report.fits:
         bad = report.over_capacity_tiles()
+        degraded = (
+            f" with {len(excluded)} tiles excluded" if excluded else ""
+        )
         raise IPUOutOfMemoryError(
-            f"graph {graph.name!r} exceeds tile memory on {len(bad)} tiles "
-            f"(peak {format_bytes(report.peak_tile_bytes)} vs usable "
-            f"{format_bytes(spec.usable_tile_memory)})"
+            f"graph {graph.name!r} exceeds tile memory on {len(bad)} tiles"
+            f"{degraded} (peak {format_bytes(report.peak_tile_bytes)} vs "
+            f"usable {format_bytes(spec.usable_tile_memory)})"
         )
     return CompiledGraph(
-        graph=graph, spec=spec, memory=report, per_cs_tiles=per_cs_tiles
+        graph=graph,
+        spec=spec,
+        memory=report,
+        per_cs_tiles=per_cs_tiles,
+        excluded_tiles=excluded,
+        tile_map=tile_map,
     )

@@ -92,6 +92,15 @@ class ExchangeModel:
         """Latency/bandwidth sweep over message sizes for one tile pair."""
         return [self.measure(s, src_tile, dst_tile) for s in sizes]
 
+    def ecc_scrub_time(self) -> float:
+        """Receiver-side cost of detecting an ECC-failed packet.
+
+        Charged once per corrupted exchange before the re-transfer: the
+        tile scrubs the parity failure and issues a replay request.  The
+        re-transfer itself is charged separately at the normal rate.
+        """
+        return self.spec.exchange_ecc_retry_cycles / self.spec.clock_hz
+
     def gather_time(self, bytes_per_tile: dict[int, int]) -> float:
         """Exchange-phase time when several tiles receive concurrently.
 

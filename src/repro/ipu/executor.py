@@ -10,15 +10,39 @@ Timing is therefore
 Copies and host I/O are separate program steps with their own costs.  The
 executor can run with numerics (validating the simulator against numpy) or
 as a pure estimate (for large sweeps).
+
+Chaos testing: an optional :class:`~repro.faults.injector.FaultInjector`
+delivers seeded faults per program step.  Transient compute faults and
+exchange ECC corruption are recovered in place — each retry re-runs the
+superstep and adds realistic resync + re-exchange time to the step's
+``retry_s`` — while a permanent tile failure raises
+:class:`~repro.faults.injector.PermanentTileFault` so the caller can
+recompile onto the surviving tile set (``compile_graph(...,
+exclude_tiles=...)``) and re-execute.  Without an injector the fault hooks
+cost one attribute check per step and the output is byte-identical to the
+pre-fault executor.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    FaultInjector,
+    PermanentTileFault,
+    UnrecoveredFaultError,
+)
+from repro.faults.plan import (
+    EXCHANGE_CORRUPTION,
+    HOST_STALL,
+    PERMANENT_TILE,
+    TRANSIENT_COMPUTE,
+    FaultEvent,
+)
 from repro.ipu.compiler import CompiledGraph
 from repro.ipu.exchange import ExchangeModel
 from repro.ipu.vertices import CODELETS, vertex_cycles
@@ -30,7 +54,13 @@ __all__ = ["StepTiming", "ExecutionReport", "Executor"]
 
 @dataclass(frozen=True)
 class StepTiming:
-    """Time breakdown of one program step."""
+    """Time breakdown of one program step.
+
+    ``retry_s`` is the extra time spent recovering injected faults on
+    this step (superstep re-runs, backoff, ECC scrubs, host stalls);
+    ``retries`` counts the recovery attempts.  Both stay zero on healthy
+    runs.
+    """
 
     name: str
     kind: str
@@ -38,10 +68,18 @@ class StepTiming:
     exchange_s: float = 0.0
     sync_s: float = 0.0
     host_s: float = 0.0
+    retry_s: float = 0.0
+    retries: int = 0
 
     @property
     def total_s(self) -> float:
-        return self.compute_s + self.exchange_s + self.sync_s + self.host_s
+        return (
+            self.compute_s
+            + self.exchange_s
+            + self.sync_s
+            + self.host_s
+            + self.retry_s
+        )
 
 
 @dataclass
@@ -68,29 +106,59 @@ class ExecutionReport:
         return sum(s.host_s for s in self.steps)
 
     @property
+    def retry_s(self) -> float:
+        """Total fault-recovery time across all steps."""
+        return sum(s.retry_s for s in self.steps)
+
+    @property
+    def retries(self) -> int:
+        """Total fault-recovery attempts across all steps."""
+        return sum(s.retries for s in self.steps)
+
+    @property
     def total_s(self) -> float:
         """End-to-end time including the fixed engine-run overhead."""
         return self.engine_overhead_s + sum(s.total_s for s in self.steps)
 
     def __str__(self) -> str:
+        retry = (
+            f", retry={format_seconds(self.retry_s)}"
+            if self.retry_s > 0
+            else ""
+        )
         return (
             f"ExecutionReport(total={format_seconds(self.total_s)}: "
             f"compute={format_seconds(self.compute_s)}, "
             f"exchange={format_seconds(self.exchange_s)}, "
             f"sync={format_seconds(self.sync_s)}, "
-            f"host={format_seconds(self.host_s)}, "
+            f"host={format_seconds(self.host_s)}{retry}, "
             f"overhead={format_seconds(self.engine_overhead_s)})"
         )
 
 
 class Executor:
-    """Runs or estimates a :class:`CompiledGraph` program."""
+    """Runs or estimates a :class:`CompiledGraph` program.
 
-    def __init__(self, compiled: CompiledGraph) -> None:
+    ``injector`` (default: the inactive :data:`NULL_INJECTOR`) delivers
+    seeded faults per program step and keeps the recovery ledger; see the
+    module docstring for the recovery semantics.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledGraph,
+        injector: FaultInjector | None = None,
+    ) -> None:
         self.compiled = compiled
         self.spec = compiled.spec
         self.graph = compiled.graph
         self.exchange = ExchangeModel(self.spec)
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        #: Per-step fault windows of the most recent execution, parallel
+        #: to ``report.steps``: (event, [(span name, category, seconds)]).
+        self._fault_windows: list[
+            list[tuple[FaultEvent, list[tuple[str, str, float]]]]
+        ] = []
 
     # -- timing ---------------------------------------------------------------
 
@@ -98,9 +166,13 @@ class Executor:
         cs = self.graph.compute_sets[cs_index]
         cycles_per_tile: dict[int, float] = defaultdict(float)
         recv_per_tile: dict[int, int] = defaultdict(int)
+        tile_map = self.compiled.tile_map
         for vertex in self.graph.vertices_in(cs):
-            cycles_per_tile[vertex.tile] += vertex_cycles(vertex, self.spec)
-            recv_per_tile[vertex.tile] += vertex.remote_input_bytes()
+            tile = (
+                vertex.tile if tile_map is None else int(tile_map[vertex.tile])
+            )
+            cycles_per_tile[tile] += vertex_cycles(vertex, self.spec)
+            recv_per_tile[tile] += vertex.remote_input_bytes()
         compute_s = (
             max(cycles_per_tile.values()) / self.spec.clock_hz
             if cycles_per_tile
@@ -138,6 +210,107 @@ class Executor:
         host_s = nbytes / self.spec.effective_host_bandwidth
         return StepTiming(name=f"{kind} {var}", kind=kind, host_s=host_s)
 
+    # -- fault injection -------------------------------------------------------
+
+    def _apply_faults(
+        self, step_index: int, timing: StepTiming
+    ) -> tuple[StepTiming, list[tuple[FaultEvent, list[tuple[str, str, float]]]]]:
+        """Inject this step's planned faults into *timing*.
+
+        Returns the (possibly fault-extended) timing plus the fault
+        windows for trace emission.  Raises :class:`PermanentTileFault`
+        for permanent tile deaths (recorded fatal until the caller
+        recompiles and marks them recovered) and
+        :class:`UnrecoveredFaultError` when a transient fault exceeds the
+        policy's retry budget.
+        """
+        policy = self.injector.policy
+        sync_s = self.spec.sync_cycles / self.spec.clock_hz
+        windows: list[tuple[FaultEvent, list[tuple[str, str, float]]]] = []
+        retry_s = 0.0
+        retries = 0
+        for event in self.injector.faults_at(step_index, self.spec.n_tiles):
+            if event.kind == PERMANENT_TILE:
+                if timing.kind != "compute":
+                    continue
+                self.injector.record_fatal(event)
+                raise PermanentTileFault(event)
+            if event.kind == TRANSIENT_COMPUTE:
+                if timing.kind != "compute":
+                    continue
+                if event.severity > policy.max_retries:
+                    self.injector.record_fatal(event)
+                    raise UnrecoveredFaultError(event, policy.max_retries)
+                # Each failed attempt: backoff, then re-run the whole
+                # superstep (compute + re-exchange + resync); one final
+                # resync once the retry succeeds.
+                rerun_s = timing.compute_s + timing.exchange_s + timing.sync_s
+                segments = [
+                    (
+                        f"retry{a}",
+                        "retry",
+                        policy.backoff_s(a) + rerun_s,
+                    )
+                    for a in range(1, event.severity + 1)
+                ]
+                segments.append(("recovery", "recovery", sync_s))
+                n_retries = event.severity
+            elif event.kind == EXCHANGE_CORRUPTION:
+                if timing.kind not in ("compute", "copy"):
+                    continue
+                # ECC scrub + full re-exchange of the superstep's data,
+                # then a resync so all tiles rejoin the BSP schedule.
+                segments = [
+                    (
+                        "retry1",
+                        "retry",
+                        self.exchange.ecc_scrub_time() + timing.exchange_s,
+                    ),
+                    ("recovery", "recovery", sync_s),
+                ]
+                n_retries = 1
+            elif event.kind == HOST_STALL:
+                if timing.kind not in ("host_write", "host_read"):
+                    continue
+                segments = [
+                    (
+                        "retry1",
+                        "retry",
+                        policy.host_stall_s * event.severity,
+                    ),
+                    ("recovery", "recovery", 0.0),
+                ]
+                n_retries = 1
+            else:  # pragma: no cover - link faults live in ipu.multi
+                continue
+            window_s = sum(s for _, _, s in segments)
+            retry_s += window_s
+            retries += n_retries
+            windows.append((event, segments))
+            self.injector.record_recovered(
+                event, retries=n_retries, retry_s=window_s
+            )
+        if not windows:
+            return timing, windows
+        return (
+            replace(timing, retry_s=timing.retry_s + retry_s,
+                    retries=timing.retries + retries),
+            windows,
+        )
+
+    def _step_timing(self, step_index: int, step) -> StepTiming:
+        """Timing of one program step, faults included when injecting."""
+        if step.kind == "compute":
+            timing = self._compute_set_timing(step.ref)
+        elif step.kind == "copy":
+            timing = self._copy_timing(*step.ref)
+        else:
+            timing = self._host_timing(step.ref, step.kind)
+        if self.injector.active:
+            timing, windows = self._apply_faults(step_index, timing)
+            self._fault_windows.append(windows)
+        return timing
+
     #: Virtual tracer track the executor's simulated timeline lives on.
     TRACE_TRACK = "ipu"
 
@@ -162,7 +335,7 @@ class Executor:
                 category="overhead",
                 graph=graph_name,
             )
-        for step in report.steps:
+        for index, step in enumerate(report.steps):
             t0 = tracer.cursor(track)
             tracer.add_span(
                 step.name,
@@ -188,19 +361,48 @@ class Executor:
                         depth=1,
                     )
                     offset += duration
+            # Fault windows trail the healthy phases: one depth-1 span
+            # per injected fault (category "fault") wrapping its retry /
+            # recovery segments, so chaos runs are legible in the trace.
+            windows = (
+                self._fault_windows[index]
+                if index < len(self._fault_windows)
+                else []
+            )
+            for event, segments in windows:
+                window_s = sum(s for _, _, s in segments)
+                tracer.add_span(
+                    event.kind,
+                    window_s,
+                    track,
+                    category="fault",
+                    start_s=offset,
+                    depth=1,
+                    tile=event.tile,
+                    step=event.step,
+                    severity=event.severity,
+                )
+                seg_offset = offset
+                for seg_name, seg_category, seg_s in segments:
+                    tracer.add_span(
+                        seg_name,
+                        seg_s,
+                        track,
+                        category=seg_category,
+                        start_s=seg_offset,
+                        depth=2,
+                    )
+                    seg_offset += seg_s
+                offset += window_s
 
     def estimate(self) -> ExecutionReport:
         """Time the program without executing numerics."""
         report = ExecutionReport(
             engine_overhead_s=self.spec.engine_run_overhead_s
         )
-        for step in self.graph.program:
-            if step.kind == "compute":
-                report.steps.append(self._compute_set_timing(step.ref))
-            elif step.kind == "copy":
-                report.steps.append(self._copy_timing(*step.ref))
-            else:
-                report.steps.append(self._host_timing(step.ref, step.kind))
+        self._fault_windows = []
+        for index, step in enumerate(self.graph.program):
+            report.steps.append(self._step_timing(index, step))
         self._trace_report(report)
         return report
 
@@ -240,24 +442,24 @@ class Executor:
         report = ExecutionReport(
             engine_overhead_s=self.spec.engine_run_overhead_s
         )
+        self._fault_windows = []
         with get_tracer().span(
             "executor.run", category="ipu", graph=self.graph.name
         ):
-            for step in self.graph.program:
+            for index, step in enumerate(self.graph.program):
+                # Timing first: a permanent tile fault aborts the step
+                # before its numerics execute (the data died with the
+                # tile); recovered faults replay to the same values.
+                timing = self._step_timing(index, step)
                 if step.kind == "compute":
                     cs = self.graph.compute_sets[step.ref]
                     for vertex in self.graph.vertices_in(cs):
                         CODELETS[vertex.codelet].execute(vertex, state)
-                    report.steps.append(self._compute_set_timing(step.ref))
                 elif step.kind == "copy":
                     src, dst = step.ref
                     state[dst] = state[src].reshape(
                         self.graph.variables[dst].shape
                     ).copy()
-                    report.steps.append(self._copy_timing(src, dst))
-                else:
-                    report.steps.append(
-                        self._host_timing(step.ref, step.kind)
-                    )
+                report.steps.append(timing)
         self._trace_report(report)
         return state, report

@@ -75,6 +75,10 @@ class IPUSpec:
     #: metric handling, PopTorch step dispatch) — common to every method,
     #: which is why Table 4's cheap methods cluster near the baseline.
     host_step_overhead_s: float = 160e-6
+    #: Extra receiver-side cycles to detect and re-request an ECC-failed
+    #: exchange packet before the superstep's data is re-streamed (parity
+    #: scrub + replay request; the exchange itself is re-run at full cost).
+    exchange_ecc_retry_cycles: int = 64
 
     # -- derived ------------------------------------------------------------
 

@@ -49,6 +49,9 @@ class IPULinkSpec:
     link_bandwidth: float
     #: Per-message link latency, seconds (sync + serialisation).
     link_latency_s: float = 2e-6
+    #: Time to detect a dropped link and re-route a collective over the
+    #: surviving direction (timeout + topology re-negotiation).
+    link_retry_timeout_s: float = 20e-6
     ipu: IPUSpec = GC200
 
 
@@ -59,12 +62,23 @@ M2000 = IPULinkSpec(
 
 
 def allreduce_time(
-    machine: IPULinkSpec, nbytes: int, n_ipus: int | None = None
+    machine: IPULinkSpec,
+    nbytes: int,
+    n_ipus: int | None = None,
+    failed_links: int = 0,
 ) -> float:
     """Ring all-reduce time for *nbytes* of gradients.
 
     Standard ring cost: ``2 (p - 1) / p`` traversals of the payload over
     the slowest link, plus ``2 (p - 1)`` latency hops.
+
+    ``failed_links=1`` models the recovery path after one IPU-Link
+    direction drops: the collective times out
+    (``link_retry_timeout_s``), then retries over the surviving
+    direction — the broken ring becomes a chain whose end-segments carry
+    the traffic of both directions, halving the effective bandwidth of
+    the slowest link while the latency hop count is unchanged.  A second
+    failed link partitions the ring, so the all-reduce is impossible.
     """
     p = machine.n_ipus if n_ipus is None else n_ipus
     if not 1 <= p <= machine.n_ipus:
@@ -73,11 +87,25 @@ def allreduce_time(
         )
     if nbytes < 0:
         raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if failed_links < 0:
+        raise ValueError(f"failed_links must be >= 0, got {failed_links}")
     if p == 1 or nbytes == 0:
         return 0.0
+    if failed_links > 1:
+        raise ValueError(
+            f"{failed_links} failed links partition the {p}-IPU ring; "
+            "all-reduce is impossible"
+        )
     steps = 2 * (p - 1)
     payload = 2 * (p - 1) / p * nbytes
-    return steps * machine.link_latency_s + payload / machine.link_bandwidth
+    bandwidth = machine.link_bandwidth
+    detect_s = 0.0
+    if failed_links == 1:
+        bandwidth /= 2.0
+        detect_s = machine.link_retry_timeout_s
+    return (
+        detect_s + steps * machine.link_latency_s + payload / bandwidth
+    )
 
 
 @dataclass(frozen=True)
@@ -89,6 +117,7 @@ class DataParallelReport:
     compute_s: float
     allreduce_s: float
     single_ipu_s: float
+    failed_links: int = 0
 
     @property
     def step_s(self) -> float:
@@ -116,12 +145,15 @@ def data_parallel_step(
     global_batch: int,
     machine: IPULinkSpec = M2000,
     n_ipus: int | None = None,
+    failed_links: int = 0,
 ) -> DataParallelReport:
     """Model one synchronous data-parallel training step.
 
     Each replica runs ``global_batch / n_ipus`` samples through the
     single-IPU step model, then gradients (one FP32 value per parameter)
-    ring-allreduce across the machine.
+    ring-allreduce across the machine.  ``failed_links`` degrades the
+    all-reduce (see :func:`allreduce_time`): compute is unaffected, only
+    the gradient exchange pays the surviving-direction penalty.
     """
     p = machine.n_ipus if n_ipus is None else n_ipus
     if not 1 <= p <= machine.n_ipus:
@@ -137,7 +169,9 @@ def data_parallel_step(
         model, in_features=in_features, batch=local_batch, spec=machine.ipu
     )
     compute_s = replica.training_step_time()
-    reduce_s = allreduce_time(machine, replica.param_bytes, n_ipus=p)
+    reduce_s = allreduce_time(
+        machine, replica.param_bytes, n_ipus=p, failed_links=failed_links
+    )
     single = IPUModule(
         model, in_features=in_features, batch=global_batch, spec=machine.ipu
     ).training_step_time()
@@ -147,6 +181,7 @@ def data_parallel_step(
         compute_s=compute_s,
         allreduce_s=reduce_s,
         single_ipu_s=single,
+        failed_links=failed_links,
     )
 
 

@@ -94,6 +94,19 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
+    def rng_state(self) -> dict:
+        """Snapshot of the shuffle stream (for checkpoint/resume).
+
+        The returned dict is the underlying bit generator's state; restoring
+        it with :meth:`set_rng_state` makes subsequent epoch permutations
+        bit-identical to the run the snapshot was taken from.
+        """
+        return self.rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a shuffle-stream snapshot from :meth:`rng_state`."""
+        self.rng.bit_generator.state = state
+
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         n = len(self.dataset)
         order = self.rng.permutation(n) if self.shuffle else np.arange(n)

@@ -39,6 +39,55 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serialisable snapshot of the optimiser's mutable state.
+
+        Returns ``{"scalars": {...}, "slots": {name: [array|None, ...]}}``
+        — one slot list per per-parameter buffer, aligned with
+        ``self.params``.  Subclasses override :meth:`_slots` and
+        :meth:`_scalars` rather than this method.
+        """
+        return {
+            "scalars": self._scalars(),
+            "slots": {
+                name: [None if b is None else b.copy() for b in buffers]
+                for name, buffers in self._slots().items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        slots = self._slots()
+        saved = state.get("slots", {})
+        if set(saved) != set(slots):
+            raise KeyError(
+                f"optimizer state mismatch: expected slots {sorted(slots)}, "
+                f"got {sorted(saved)}"
+            )
+        for name, buffers in saved.items():
+            if len(buffers) != len(self.params):
+                raise ValueError(
+                    f"slot {name!r} has {len(buffers)} buffers for "
+                    f"{len(self.params)} parameters"
+                )
+            slots[name][:] = [
+                None if b is None else np.asarray(b).copy() for b in buffers
+            ]
+        self._load_scalars(state.get("scalars", {}))
+
+    def _slots(self) -> dict[str, list]:
+        """Per-parameter buffer lists (live references); default: none."""
+        return {}
+
+    def _scalars(self) -> dict:
+        """Scalar state (step counters etc.); default: none."""
+        return {}
+
+    def _load_scalars(self, scalars: dict) -> None:
+        return None
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with classical momentum.
@@ -88,6 +137,9 @@ class SGD(Optimizer):
                     g = g + self.momentum * self._velocity[i]
             p.data -= self.lr * g
 
+    def _slots(self) -> dict[str, list]:
+        return {"velocity": self._velocity}
+
 
 class Adam(Optimizer):
     """Adam with bias correction (Kingma & Ba 2015)."""
@@ -134,6 +186,15 @@ class Adam(Optimizer):
             m_hat = self._m[i] / (1 - b1**self._t)
             v_hat = self._v[i] / (1 - b2**self._t)
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _slots(self) -> dict[str, list]:
+        return {"m": self._m, "v": self._v}
+
+    def _scalars(self) -> dict:
+        return {"t": self._t}
+
+    def _load_scalars(self, scalars: dict) -> None:
+        self._t = int(scalars.get("t", 0))
 
 
 def clip_grad_norm(params, max_norm: float) -> float:

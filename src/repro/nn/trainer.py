@@ -16,6 +16,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.faults.checkpoint import CheckpointError, CheckpointManager
 from repro.nn.data import DataLoader
 from repro.nn.losses import accuracy, cross_entropy
 from repro.nn.module import Module
@@ -44,6 +45,12 @@ class TrainingHistory:
     train_time_s: float = 0.0
     val_time_s: float = 0.0
     steps: int = 0
+    #: Optimisation steps executed in each epoch (resumed epochs count
+    #: their pre-kill steps too, so the list describes the epoch, not
+    #: the process that ran it).
+    steps_per_epoch: list[int] = field(default_factory=list)
+    #: Global step of the checkpoint this run resumed from, if any.
+    resumed_from_step: int | None = None
     device_time_s: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -94,27 +101,169 @@ class Trainer:
             return 0.0, 0.0
         return total_loss / count, correct / count
 
+    # -- checkpoint plumbing --------------------------------------------------
+
+    def _checkpoint_payload(
+        self,
+        history: TrainingHistory,
+        epoch: int,
+        step_in_epoch: int,
+        partial_losses: list[float],
+        partial_accs: list[float],
+        epoch_rng_state: dict,
+        val_rng_state: dict | None,
+    ) -> tuple[dict[str, np.ndarray], dict]:
+        """Flatten model + optimiser + cursor state into (arrays, meta)."""
+        arrays: dict[str, np.ndarray] = {}
+        for name, arr in self.model.state_dict().items():
+            arrays[f"model/{name}"] = arr
+        opt_state = self.optimizer.state_dict()
+        slot_mask: dict[str, list[bool]] = {}
+        for slot, buffers in opt_state["slots"].items():
+            mask = []
+            for i, buf in enumerate(buffers):
+                mask.append(buf is not None)
+                if buf is not None:
+                    arrays[f"opt/{slot}/{i}"] = buf
+            slot_mask[slot] = mask
+        meta = {
+            "epoch": epoch,
+            "step_in_epoch": step_in_epoch,
+            "steps": history.steps,
+            "history": {
+                "train_loss": list(history.train_loss),
+                "train_accuracy": list(history.train_accuracy),
+                "val_loss": list(history.val_loss),
+                "val_accuracy": list(history.val_accuracy),
+                "steps_per_epoch": list(history.steps_per_epoch),
+                "train_time_s": history.train_time_s,
+                "val_time_s": history.val_time_s,
+                "device_time_s": dict(history.device_time_s),
+            },
+            "partial": {
+                "losses": list(partial_losses),
+                "accs": list(partial_accs),
+            },
+            "rng": {
+                "train_epoch_start": epoch_rng_state,
+                "val": val_rng_state,
+            },
+            "optimizer": {
+                "scalars": opt_state["scalars"],
+                "slot_mask": slot_mask,
+            },
+        }
+        return arrays, meta
+
+    def _restore_checkpoint(
+        self,
+        arrays: dict[str, np.ndarray],
+        meta: dict,
+        history: TrainingHistory,
+        train_loader: DataLoader,
+        val_loader: DataLoader | None,
+    ) -> None:
+        """Load a checkpoint payload back into model/optimiser/loaders."""
+        model_state = {
+            name[len("model/") :]: arr
+            for name, arr in arrays.items()
+            if name.startswith("model/")
+        }
+        self.model.load_state_dict(model_state)
+        opt_meta = meta["optimizer"]
+        slots = {
+            slot: [
+                arrays[f"opt/{slot}/{i}"] if present else None
+                for i, present in enumerate(mask)
+            ]
+            for slot, mask in opt_meta["slot_mask"].items()
+        }
+        self.optimizer.load_state_dict(
+            {"scalars": opt_meta["scalars"], "slots": slots}
+        )
+        h = meta["history"]
+        history.train_loss[:] = [float(v) for v in h["train_loss"]]
+        history.train_accuracy[:] = [float(v) for v in h["train_accuracy"]]
+        history.val_loss[:] = [float(v) for v in h["val_loss"]]
+        history.val_accuracy[:] = [float(v) for v in h["val_accuracy"]]
+        history.steps_per_epoch[:] = [int(v) for v in h["steps_per_epoch"]]
+        history.train_time_s = float(h["train_time_s"])
+        history.val_time_s = float(h["val_time_s"])
+        history.device_time_s = {
+            k: float(v) for k, v in h["device_time_s"].items()
+        }
+        history.steps = int(meta["steps"])
+        train_loader.set_rng_state(meta["rng"]["train_epoch_start"])
+        if val_loader is not None and meta["rng"]["val"] is not None:
+            val_loader.set_rng_state(meta["rng"]["val"])
+
     def fit(
         self,
         train_loader: DataLoader,
         val_loader: DataLoader | None = None,
         epochs: int = 1,
         verbose: bool = False,
+        checkpoint: CheckpointManager | None = None,
+        checkpoint_every: int = 0,
+        resume: bool = True,
     ) -> TrainingHistory:
-        """Train for *epochs* and return the collected history."""
+        """Train for *epochs* and return the collected history.
+
+        With a :class:`~repro.faults.checkpoint.CheckpointManager` the
+        trainer writes an atomic checkpoint after every epoch (and every
+        ``checkpoint_every`` optimisation steps, if nonzero) and — when
+        *resume* is true and the manager holds a readable checkpoint —
+        restores model, optimiser, metric history and the data loaders'
+        RNG streams before training, continuing mid-epoch at the exact
+        batch cursor.  The resumed run's losses, accuracies and final
+        parameters are bit-identical to an uninterrupted run; only the
+        host wall-clock fields differ.
+        """
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if checkpoint_every and checkpoint is None:
+            raise ValueError(
+                "checkpoint_every requires a CheckpointManager"
+            )
         history = TrainingHistory()
+        start_epoch = 0
+        skip = 0
+        partial_losses: list[float] = []
+        partial_accs: list[float] = []
+        if checkpoint is not None and resume:
+            latest = checkpoint.load_latest()
+            if latest is not None:
+                ckpt_step, arrays, meta = latest
+                self._restore_checkpoint(
+                    arrays, meta, history, train_loader, val_loader
+                )
+                start_epoch = int(meta["epoch"])
+                skip = int(meta["step_in_epoch"])
+                partial_losses = [
+                    float(v) for v in meta["partial"]["losses"]
+                ]
+                partial_accs = [float(v) for v in meta["partial"]["accs"]]
+                history.resumed_from_step = ckpt_step
         tracer = get_tracer()
         with tracer.span(
             "trainer.fit", category="train", epochs=epochs
         ) as fit_span:
-            for epoch in range(epochs):
-                losses: list[float] = []
-                accs: list[float] = []
+            for epoch in range(start_epoch, epochs):
+                epoch_rng = train_loader.rng_state()
+                losses = partial_losses
+                accs = partial_accs
+                partial_losses, partial_accs = [], []
+                consumed = 0
                 t0 = time.perf_counter()
                 with tracer.span(
                     "epoch", category="train", epoch=epoch
                 ):
                     for x, y in train_loader:
+                        consumed += 1
+                        if consumed <= skip:
+                            continue
                         if tracer.enabled:
                             with tracer.span("train_step", category="train"):
                                 loss, acc = self.train_step(x, y)
@@ -131,7 +280,47 @@ class Trainer:
                                 history.device_time_s.get(name, 0.0)
                                 + model(len(y))
                             )
+                        if (
+                            checkpoint is not None
+                            and checkpoint_every
+                            and history.steps % checkpoint_every == 0
+                        ):
+                            with tracer.span(
+                                "checkpoint.save",
+                                category="train",
+                                step=history.steps,
+                            ):
+                                checkpoint.save(
+                                    history.steps,
+                                    *self._checkpoint_payload(
+                                        history,
+                                        epoch,
+                                        consumed,
+                                        losses,
+                                        accs,
+                                        epoch_rng,
+                                        val_loader.rng_state()
+                                        if val_loader is not None
+                                        else None,
+                                    ),
+                                )
+                if consumed == 0:
+                    raise ValueError(
+                        "train_loader is exhausted: it yielded no batches "
+                        f"in epoch {epoch} (dataset of "
+                        f"{len(train_loader.dataset)} samples, batch_size="
+                        f"{train_loader.batch_size}, drop_last="
+                        f"{train_loader.drop_last})"
+                    )
+                if consumed < skip:
+                    raise CheckpointError(
+                        f"checkpoint cursor {skip} exceeds the "
+                        f"{consumed} batches the train loader yields per "
+                        "epoch; the checkpoint does not match this loader"
+                    )
+                skip = 0
                 history.train_time_s += time.perf_counter() - t0
+                history.steps_per_epoch.append(len(losses))
                 history.train_loss.append(
                     float(np.mean(losses)) if losses else 0.0
                 )
@@ -150,6 +339,27 @@ class Trainer:
                     if tracer.enabled:
                         tracer.counter(
                             "val", {"loss": vl, "accuracy": va}
+                        )
+                if checkpoint is not None:
+                    with tracer.span(
+                        "checkpoint.save",
+                        category="train",
+                        step=history.steps,
+                        epoch_end=True,
+                    ):
+                        checkpoint.save(
+                            history.steps,
+                            *self._checkpoint_payload(
+                                history,
+                                epoch + 1,
+                                0,
+                                [],
+                                [],
+                                train_loader.rng_state(),
+                                val_loader.rng_state()
+                                if val_loader is not None
+                                else None,
+                            ),
                         )
                 if verbose:
                     msg = (

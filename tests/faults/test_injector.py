@@ -1,0 +1,91 @@
+"""Tests for the fault injector's ledger and report rollup."""
+
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultReport,
+)
+from repro.faults.plan import (
+    LINK_DROP,
+    PERMANENT_TILE,
+    TRANSIENT_COMPUTE,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+class TestNullInjector:
+    def test_inactive_and_empty(self):
+        assert not NULL_INJECTOR.active
+        assert NULL_INJECTOR.plan.is_empty
+        report = NULL_INJECTOR.report()
+        assert report.n_injected == 0
+        assert report.all_recovered
+
+    def test_active_flag_tracks_plan(self):
+        assert not FaultInjector(FaultPlan.none()).active
+        assert FaultInjector(
+            FaultPlan(events=(FaultEvent(LINK_DROP, step=0),))
+        ).active
+
+
+class TestLedger:
+    def test_recovered_dedup_by_identity(self):
+        injector = FaultInjector(FaultPlan.none())
+        event = FaultEvent(TRANSIENT_COMPUTE, step=2, tile=5)
+        # A re-execution after recompile observes the same fault twice.
+        injector.record_recovered(event, retries=2, retry_s=1e-6)
+        injector.record_recovered(event, retries=2, retry_s=1e-6)
+        report = injector.report()
+        assert report.n_injected == 1
+        assert report.total_retries == 2
+
+    def test_fatal_then_recovered_flips(self):
+        injector = FaultInjector(FaultPlan.none())
+        event = FaultEvent(PERMANENT_TILE, step=1, tile=3)
+        injector.record_fatal(event)
+        assert injector.report().n_fatal == 1
+        injector.record_recovered(event, retries=1)
+        report = injector.report()
+        assert report.n_fatal == 0
+        assert report.n_recovered == 1
+        assert report.all_recovered
+
+    def test_dead_tiles_filter_permanent_refires(self):
+        event = FaultEvent(PERMANENT_TILE, step=4, tile=9)
+        injector = FaultInjector(FaultPlan(events=(event,)))
+        assert injector.faults_at(4, 16) == [event]
+        injector.record_recovered(event, retries=1)
+        assert injector.dead_tiles == {9}
+        # After the recompile the dead tile's fault no longer fires.
+        assert injector.faults_at(4, 16) == []
+
+    def test_report_deterministic_across_insertion_order(self):
+        a = FaultInjector(FaultPlan.none())
+        b = FaultInjector(FaultPlan.none())
+        e1 = FaultEvent(TRANSIENT_COMPUTE, step=1, tile=0)
+        e2 = FaultEvent(PERMANENT_TILE, step=2, tile=1)
+        a.record_recovered(e1, retries=1)
+        a.record_recovered(e2, retries=1)
+        b.record_recovered(e2, retries=1)
+        b.record_recovered(e1, retries=1)
+        assert a.report() == b.report()
+
+
+class TestFaultReport:
+    def test_counts_and_render(self):
+        report = FaultReport(
+            injected=((TRANSIENT_COMPUTE, 2), (LINK_DROP, 1)),
+            recovered=((TRANSIENT_COMPUTE, 2),),
+            fatal=((LINK_DROP, 1),),
+            total_retries=3,
+            total_retry_s=5e-6,
+        )
+        assert report.n_injected == 3
+        assert report.n_recovered == 2
+        assert report.n_fatal == 1
+        assert not report.all_recovered
+        assert report.kinds_injected() == [TRANSIENT_COMPUTE, LINK_DROP]
+        text = report.render()
+        assert "3 injected" in text
+        assert "link_drop" in text

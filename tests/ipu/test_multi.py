@@ -41,6 +41,45 @@ class TestAllReduce:
         assert t == pytest.approx(expected)
 
 
+class TestDegradedLinks:
+    """One dropped IPU-Link direction: retry over the surviving one."""
+
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_one_failed_link_formula(self, p):
+        nbytes = 10**7
+        healthy = allreduce_time(M2000, nbytes, n_ipus=p)
+        degraded = allreduce_time(M2000, nbytes, n_ipus=p, failed_links=1)
+        payload = 2 * (p - 1) / p * nbytes
+        expected = (
+            M2000.link_retry_timeout_s
+            + 2 * (p - 1) * M2000.link_latency_s
+            + payload / (M2000.link_bandwidth / 2)
+        )
+        assert degraded == pytest.approx(expected)
+        assert degraded > healthy
+
+    def test_single_ipu_ignores_failed_links(self):
+        assert allreduce_time(M2000, 10**6, n_ipus=1, failed_links=1) == 0.0
+
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_two_failed_links_partition_the_ring(self, p):
+        with pytest.raises(ValueError, match="partition"):
+            allreduce_time(M2000, 10**6, n_ipus=p, failed_links=2)
+
+    def test_negative_failed_links_rejected(self):
+        with pytest.raises(ValueError, match="failed_links"):
+            allreduce_time(M2000, 10**6, failed_links=-1)
+
+    def test_detection_timeout_dominates_small_payloads(self):
+        healthy = allreduce_time(M2000, 64, n_ipus=4)
+        degraded = allreduce_time(M2000, 64, n_ipus=4, failed_links=1)
+        # 64 bytes of payload is ~3e-10 s of extra traversal; the 20 us
+        # detection timeout is all that matters.
+        assert degraded - healthy == pytest.approx(
+            M2000.link_retry_timeout_s, abs=1e-8
+        )
+
+
 class TestDataParallel:
     def _model(self, kind="butterfly"):
         hidden = (
@@ -88,6 +127,39 @@ class TestDataParallel:
             data_parallel_step(self._model(), 1024, 512, n_ipus=9)
         with pytest.raises(ValueError, match="batch"):
             data_parallel_step(self._model(), 1024, 2, n_ipus=4)
+
+    def test_degraded_step_slower_but_compute_unchanged(self):
+        healthy = data_parallel_step(
+            self._model("dense"), 1024, global_batch=512, n_ipus=4
+        )
+        degraded = data_parallel_step(
+            self._model("dense"), 1024, global_batch=512, n_ipus=4,
+            failed_links=1,
+        )
+        assert degraded.failed_links == 1
+        assert degraded.compute_s == healthy.compute_s
+        assert degraded.allreduce_s > healthy.allreduce_s
+        assert degraded.speedup < healthy.speedup
+
+    def test_butterfly_shrinks_the_degraded_link_penalty(self):
+        """Compression pays off twice on a broken ring: the halved
+        bandwidth is applied to a ~97 % smaller gradient payload."""
+        def penalty(kind):
+            healthy = data_parallel_step(
+                self._model(kind), 1024, global_batch=512, n_ipus=4
+            )
+            degraded = data_parallel_step(
+                self._model(kind), 1024, global_batch=512, n_ipus=4,
+                failed_links=1,
+            )
+            return degraded.allreduce_s - healthy.allreduce_s
+
+        # Both pay the same detection timeout; the bandwidth term of the
+        # penalty tracks the parameter compression.
+        timeout = M2000.link_retry_timeout_s
+        assert (penalty("butterfly") - timeout) < (
+            penalty("dense") - timeout
+        ) / 10
 
 
 class TestStreaming:
