@@ -3,6 +3,12 @@
 Every bench regenerates one paper artefact (table or figure series), times
 it with pytest-benchmark, and writes the rendered text artefact to
 ``benchmarks/output/`` so the reproduction is inspectable after a run.
+
+Each bench also runs under a fresh tracer + metric registry, and
+``save_artefact`` emits a machine-readable ``repro.run/1`` JSON manifest
+next to every ``.txt`` artefact — the per-run data point of the perf
+trajectory, diffable with ``python -m repro regress`` (see
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -10,6 +16,8 @@ from __future__ import annotations
 import pathlib
 
 import pytest
+
+from repro import obs
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
@@ -20,13 +28,31 @@ def artefact_dir() -> pathlib.Path:
     return OUTPUT_DIR
 
 
+@pytest.fixture(autouse=True)
+def _observed_run():
+    """Install a tracer + metric registry around every bench test."""
+    with obs.tracing() as tracer, obs.collecting() as registry:
+        yield tracer, registry
+
+
 @pytest.fixture
-def save_artefact(artefact_dir):
-    """Write a rendered table to benchmarks/output/<name>.txt and echo it."""
+def save_artefact(artefact_dir, _observed_run):
+    """Write benchmarks/output/<name>.txt + <name>.json and echo it.
+
+    The ``.json`` sibling is a ``repro.run/1`` manifest built from the
+    test's tracer and metric registry at save time.
+    """
+    tracer, registry = _observed_run
 
     def _save(name: str, text: str) -> None:
         path = artefact_dir / f"{name}.txt"
         path.write_text(text + "\n")
-        print(f"\n{text}\n[saved to {path}]")
+        manifest = obs.build_manifest(
+            name, registry=registry, tracer=tracer
+        )
+        manifest_path = obs.write_manifest(
+            manifest, artefact_dir / f"{name}.json"
+        )
+        print(f"\n{text}\n[saved to {path}; manifest {manifest_path}]")
 
     return _save

@@ -1,22 +1,22 @@
-"""Command-line entry point: regenerate paper artefacts.
+"""Command-line entry point: artefacts, tracing, chaos, reports, gates.
 
 Usage::
 
+    python -m repro --help               # all subcommands + artefacts
     python -m repro list                 # available artefacts
-    python -m repro table1 fig3 ...      # regenerate specific ones
-    python -m repro all                  # everything except the slow ones
-    python -m repro all --full           # everything, paper-scale budgets
+    python -m repro table1 fig3 ...      # regenerate specific artefacts
+    python -m repro all [--full]         # everything (opt. paper-scale)
     python -m repro trace fig6           # run one artefact under the tracer
-    python -m repro chaos --seed 0       # fault-injection suite (RESILIENCE.md)
+    python -m repro chaos --seed 0       # fault-injection suite
+    python -m repro report run.json      # render a repro.run/1 manifest
+    python -m repro report --smoke       # deterministic smoke manifest
+    python -m repro regress NEW BASE     # perf-regression gate (CI)
 
-Each artefact prints to stdout; pass ``--out DIR`` to also write
-``DIR/<name>.txt`` files.  ``trace`` runs a single artefact with the
-:mod:`repro.obs` tracer enabled and writes a Chrome ``trace_event`` JSON
-(open in ``chrome://tracing`` / Perfetto) next to the benchmark outputs,
-plus a flame summary to stdout — see docs/OBSERVABILITY.md.  ``chaos``
-runs the fault-injection/recovery suite (seeded faults, kill/resume,
-degraded-tile sweep) and exits nonzero on any unrecovered fault or
-replay/resume mismatch — see docs/RESILIENCE.md.
+Subcommands live in the :data:`SUBCOMMANDS` registry — each entry owns
+its argparse parser — and any leading argument that is *not* a
+registered subcommand is treated as an artefact name (the historical
+``python -m repro table1 fig3`` form).  See docs/OBSERVABILITY.md for
+``trace``/``report``/``regress`` and docs/RESILIENCE.md for ``chaos``.
 """
 
 from __future__ import annotations
@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+from dataclasses import dataclass
 from typing import Callable
 
 from repro import obs
@@ -113,13 +114,74 @@ ARTEFACTS: dict[str, tuple[Callable[[], str], Callable[[], str], str]] = {
 SLOW = {"table4", "table5"}
 
 
-def _default_trace_dir() -> pathlib.Path:
+def _default_output_dir() -> pathlib.Path:
     """``benchmarks/output`` in a source checkout, else the working dir."""
     repo_root = pathlib.Path(__file__).resolve().parents[2]
     candidate = repo_root / "benchmarks" / "output"
     if candidate.parent.is_dir():
         return candidate
     return pathlib.Path("benchmarks/output")
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def run_main(argv: list[str]) -> int:
+    """``python -m repro [run] <artefact>...``: regenerate artefacts."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate paper artefacts (the default subcommand).",
+    )
+    parser.add_argument(
+        "artefacts",
+        nargs="+",
+        help="artefact names, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale budgets (slow: full training runs)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="also write files"
+    )
+    args = parser.parse_args(argv)
+
+    if args.artefacts == ["list"]:
+        return list_main([])
+
+    names = list(ARTEFACTS) if args.artefacts == ["all"] else args.artefacts
+    if args.artefacts == ["all"] and not args.full:
+        names = [n for n in names if n not in SLOW]
+
+    unknown = [n for n in names if n not in ARTEFACTS]
+    if unknown:
+        parser.error(
+            f"unknown artefact(s) {unknown}; try 'python -m repro list'"
+        )
+
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        fast, full, _ = ARTEFACTS[name]
+        text = (full if args.full else fast)()
+        print(text)
+        print()
+        if args.out:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+def list_main(argv: list[str]) -> int:
+    """``python -m repro list``: print the artefact table."""
+    argparse.ArgumentParser(
+        prog="python -m repro list",
+        description="List available artefacts.",
+    ).parse_args(argv)
+    for name, (_, _, desc) in ARTEFACTS.items():
+        slow = " [slow]" if name in SLOW else ""
+        print(f"{name:12s} {desc}{slow}")
+    return 0
 
 
 def trace_main(argv: list[str]) -> int:
@@ -150,7 +212,7 @@ def trace_main(argv: list[str]) -> int:
             "try 'python -m repro list'"
         )
     fast, full, _ = ARTEFACTS[args.artefact]
-    out_dir = args.out if args.out is not None else _default_trace_dir()
+    out_dir = args.out if args.out is not None else _default_output_dir()
     out_dir.mkdir(parents=True, exist_ok=True)
     with obs.tracing() as tracer:
         text = (full if args.full else fast)()
@@ -205,57 +267,181 @@ def chaos_main(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+def report_main(argv: list[str]) -> int:
+    """``python -m repro report``: render (or produce) a run manifest."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Render a repro.run/1 manifest as a terminal report, "
+        "or (--smoke) run the deterministic smoke workload, write its "
+        "manifest and render it — the CI baseline generator.",
+    )
+    parser.add_argument(
+        "manifest",
+        nargs="?",
+        type=pathlib.Path,
+        help="path to a repro.run/1 JSON manifest",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the smoke workload instead of reading a manifest",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="where --smoke writes its manifest "
+        "(default: benchmarks/output/smoke.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke == (args.manifest is not None):
+        parser.error("pass exactly one of: a manifest path, or --smoke")
+    if args.smoke:
+        manifest = obs.smoke_manifest()
+        out = (
+            args.out
+            if args.out is not None
+            else _default_output_dir() / "smoke.json"
+        )
+        path = obs.write_manifest(manifest, out)
+        print(obs.render_report(manifest))
+        print(f"\n[manifest: {path}]")
+        return 0
+    try:
+        manifest = obs.read_manifest(args.manifest)
+    except obs.ManifestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(obs.render_report(manifest))
+    return 0
+
+
+def regress_main(argv: list[str]) -> int:
+    """``python -m repro regress``: gate a manifest against a baseline."""
+    from repro.obs.regress import (
+        DEFAULT_TOLERANCE,
+        parse_tolerance,
+        regress,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro regress",
+        description="Diff two repro.run/1 manifests with per-metric "
+        "relative tolerances.  Exits 0 when the candidate is within "
+        "tolerance of the baseline, 1 on any regression, 2 on bad "
+        "input — see docs/OBSERVABILITY.md.",
+    )
+    parser.add_argument(
+        "candidate", type=pathlib.Path, help="the new run's manifest"
+    )
+    parser.add_argument(
+        "baseline",
+        type=pathlib.Path,
+        help="the baseline manifest (e.g. benchmarks/baselines/smoke.json)",
+    )
+    parser.add_argument(
+        "--tol",
+        action="append",
+        default=[],
+        metavar="PATTERN=REL",
+        help="per-metric tolerance (glob over flattened metric keys; "
+        "REL is a relative fraction or 'none' to skip); repeatable, "
+        "first match wins",
+    )
+    parser.add_argument(
+        "--default-tol",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"tolerance for unmatched metrics (default "
+        f"{DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="show every metric comparison, not only failures",
+    )
+    args = parser.parse_args(argv)
+    try:
+        rules = tuple(parse_tolerance(spec) for spec in args.tol)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        candidate = obs.read_manifest(args.candidate)
+        baseline = obs.read_manifest(args.baseline)
+    except obs.ManifestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = regress(
+        candidate, baseline, rules=rules, default_tol=args.default_tol
+    )
+    print(result.render(show_all=args.all))
+    return 0 if result.ok else 1
+
+
+# -- dispatch ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Subcommand:
+    """One registered subcommand: its entry point and help line."""
+
+    main: Callable[[list[str]], int]
+    help: str
+
+
+#: The subcommand registry; ``main`` dispatches by first argument and
+#: falls back to :func:`run_main` (artefact names) for anything else.
+SUBCOMMANDS: dict[str, Subcommand] = {
+    "run": Subcommand(run_main, "regenerate artefacts (the default)"),
+    "list": Subcommand(list_main, "list available artefacts"),
+    "trace": Subcommand(
+        trace_main, "run one artefact under the tracer (Chrome JSON)"
+    ),
+    "chaos": Subcommand(
+        chaos_main, "fault-injection & recovery suite (RESILIENCE.md)"
+    ),
+    "report": Subcommand(
+        report_main, "render a repro.run/1 manifest (or --smoke)"
+    ),
+    "regress": Subcommand(
+        regress_main, "perf-regression gate between two manifests"
+    ),
+}
+
+
+def _top_help() -> str:
+    lines = [
+        "usage: python -m repro <subcommand|artefact...> [options]",
+        "",
+        "subcommands:",
+    ]
+    for name, spec in SUBCOMMANDS.items():
+        lines.append(f"  {name:<10s} {spec.help}")
+    lines.append("")
+    lines.append("artefacts (python -m repro <name>... / run <name>...):")
+    for name, (_, _, desc) in ARTEFACTS.items():
+        slow = " [slow]" if name in SLOW else ""
+        lines.append(f"  {name:<12s} {desc}{slow}")
+    lines.append("")
+    lines.append(
+        "use 'python -m repro <subcommand> --help' for per-subcommand "
+        "options"
+    )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "trace":
-        return trace_main(argv[1:])
-    if argv and argv[0] == "chaos":
-        return chaos_main(argv[1:])
-    parser = argparse.ArgumentParser(
-        prog="python -m repro", description=__doc__
-    )
-    parser.add_argument(
-        "artefacts",
-        nargs="+",
-        help="artefact names, 'all', 'list', 'trace <name>', or 'chaos'",
-    )
-    parser.add_argument(
-        "--full",
-        action="store_true",
-        help="paper-scale budgets (slow: full training runs)",
-    )
-    parser.add_argument(
-        "--out", type=pathlib.Path, default=None, help="also write files"
-    )
-    args = parser.parse_args(argv)
-
-    if args.artefacts == ["list"]:
-        for name, (_, _, desc) in ARTEFACTS.items():
-            slow = " [slow]" if name in SLOW else ""
-            print(f"{name:12s} {desc}{slow}")
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_top_help())
         return 0
-
-    names = list(ARTEFACTS) if args.artefacts == ["all"] else args.artefacts
-    if args.artefacts == ["all"] and not args.full:
-        names = [n for n in names if n not in SLOW]
-
-    unknown = [n for n in names if n not in ARTEFACTS]
-    if unknown:
-        parser.error(
-            f"unknown artefact(s) {unknown}; try 'python -m repro list'"
-        )
-
-    if args.out:
-        args.out.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        fast, full, _ = ARTEFACTS[name]
-        text = (full if args.full else fast)()
-        print(text)
-        print()
-        if args.out:
-            (args.out / f"{name}.txt").write_text(text + "\n")
-    return 0
+    spec = SUBCOMMANDS.get(argv[0])
+    if spec is not None:
+        return spec.main(argv[1:])
+    # Not a subcommand: historical artefact invocation.
+    return run_main(argv)
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.faults.plan import (
     FaultPlan,
     RecoveryPolicy,
 )
+from repro.obs import get_registry
 from repro.utils import format_seconds
 
 __all__ = [
@@ -180,15 +181,41 @@ class FaultInjector:
         self, event: FaultEvent, retries: int = 0, retry_s: float = 0.0
     ) -> None:
         """Mark *event* recovered (idempotent per fault identity)."""
+        first = event.key not in self._ledger
         self._ledger[event.key] = _LedgerEntry(
             event, RECOVERED, retries=retries, retry_s=retry_s
         )
         if event.kind == PERMANENT_TILE and event.tile is not None:
             self.dead_tiles.add(event.tile)
+        registry = get_registry()
+        if registry.enabled:
+            # Metric counters mirror first-observation semantics (the
+            # ledger stays authoritative for replay checks): a fault
+            # seen fatal first and recovered after a recompile counts
+            # once as injected, then once as recovered.
+            if first:
+                registry.counter(
+                    "faults.injected", kind=event.kind
+                ).inc()
+            registry.counter("faults.recovered", kind=event.kind).inc()
+            registry.counter("faults.retries", kind=event.kind).inc(
+                retries
+            )
+            registry.counter("faults.retry_s", kind=event.kind).inc(
+                retry_s
+            )
 
     def record_fatal(self, event: FaultEvent) -> None:
         """Mark *event* fatal (unrecovered)."""
+        first = event.key not in self._ledger
         self._ledger[event.key] = _LedgerEntry(event, FATAL)
+        registry = get_registry()
+        if registry.enabled:
+            if first:
+                registry.counter(
+                    "faults.injected", kind=event.kind
+                ).inc()
+            registry.counter("faults.fatal", kind=event.kind).inc()
 
     def report(self) -> FaultReport:
         """Roll the ledger up into a :class:`FaultReport`."""

@@ -26,7 +26,8 @@ import numpy as np
 
 from repro.ipu.graph import Graph
 from repro.ipu.machine import IPUSpec
-from repro.obs import get_tracer
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import DEFAULT_BYTES_EDGES
 from repro.utils import format_bytes
 
 __all__ = [
@@ -330,6 +331,29 @@ def compile_graph(
                     "overhead_bytes": breakdown.overhead,
                 },
             )
+        registry = get_registry()
+        if registry.enabled:
+            # The Fig 5 quantities (graph structure) as gauges, the Fig 7
+            # memory split as gauges, and the per-tile byte distribution
+            # as a fixed-bucket histogram — all keyed by graph name so a
+            # sweep's sizes stay distinguishable in the manifest.
+            name = graph.name
+            registry.counter("compile.graphs").inc()
+            for metric, value in (
+                ("compile.variables", graph.n_variables),
+                ("compile.vertices", graph.n_vertices),
+                ("compile.edges", graph.n_edges),
+                ("compile.compute_sets", graph.n_compute_sets),
+                ("compile.peak_tile_bytes", report.peak_tile_bytes),
+                ("compile.total_bytes", report.total_bytes),
+                ("compile.variable_bytes", breakdown.variables),
+                ("compile.overhead_bytes", breakdown.overhead),
+                ("compile.free_bytes", report.free_bytes),
+            ):
+                registry.gauge(metric, graph=name).set(value)
+            registry.histogram(
+                "compile.tile_bytes", edges=DEFAULT_BYTES_EDGES, graph=name
+            ).observe_many(per_tile)
     if check_fit and not report.fits:
         bad = report.over_capacity_tiles()
         degraded = (

@@ -46,7 +46,7 @@ from repro.faults.plan import (
 from repro.ipu.compiler import CompiledGraph
 from repro.ipu.exchange import ExchangeModel
 from repro.ipu.vertices import CODELETS, vertex_cycles
-from repro.obs import get_tracer
+from repro.obs import get_registry, get_tracer
 from repro.utils import format_seconds
 
 __all__ = ["StepTiming", "ExecutionReport", "Executor"]
@@ -70,6 +70,8 @@ class StepTiming:
     host_s: float = 0.0
     retry_s: float = 0.0
     retries: int = 0
+    #: Bytes moved through the exchange fabric (or host link) this step.
+    exchange_bytes: int = 0
 
     @property
     def total_s(self) -> float:
@@ -109,6 +111,11 @@ class ExecutionReport:
     def retry_s(self) -> float:
         """Total fault-recovery time across all steps."""
         return sum(s.retry_s for s in self.steps)
+
+    @property
+    def exchange_bytes(self) -> int:
+        """Total bytes moved through the exchange/host links."""
+        return sum(s.exchange_bytes for s in self.steps)
 
     @property
     def retries(self) -> int:
@@ -188,6 +195,7 @@ class Executor:
             compute_s=compute_s,
             exchange_s=exchange_s,
             sync_s=sync_s,
+            exchange_bytes=int(sum(recv_per_tile.values())),
         )
 
     def _copy_timing(self, src: str, dst: str) -> StepTiming:
@@ -203,12 +211,18 @@ class Executor:
             kind="copy",
             exchange_s=exchange_s,
             sync_s=sync_s,
+            exchange_bytes=int(src_var.total_bytes),
         )
 
     def _host_timing(self, var: str, kind: str) -> StepTiming:
         nbytes = self.graph.variables[var].total_bytes
         host_s = nbytes / self.spec.effective_host_bandwidth
-        return StepTiming(name=f"{kind} {var}", kind=kind, host_s=host_s)
+        return StepTiming(
+            name=f"{kind} {var}",
+            kind=kind,
+            host_s=host_s,
+            exchange_bytes=int(nbytes),
+        )
 
     # -- fault injection -------------------------------------------------------
 
@@ -395,6 +409,29 @@ class Executor:
                     seg_offset += seg_s
                 offset += window_s
 
+    def _record_metrics(self, report: ExecutionReport) -> None:
+        """Fold the report into the metric registry (no-op when off)."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        graph = self.graph.name
+        for phase in ("compute", "exchange", "sync", "host", "retry"):
+            registry.counter(f"executor.{phase}_s", graph=graph).inc(
+                getattr(report, f"{phase}_s")
+            )
+        registry.counter("executor.retries", graph=graph).inc(
+            report.retries
+        )
+        registry.counter("executor.exchange_bytes", graph=graph).inc(
+            report.exchange_bytes
+        )
+        step_hist = registry.histogram("executor.step_s", graph=graph)
+        for step in report.steps:
+            registry.counter(
+                "executor.steps", graph=graph, kind=step.kind
+            ).inc()
+            step_hist.observe(step.total_s)
+
     def estimate(self) -> ExecutionReport:
         """Time the program without executing numerics."""
         report = ExecutionReport(
@@ -404,6 +441,7 @@ class Executor:
         for index, step in enumerate(self.graph.program):
             report.steps.append(self._step_timing(index, step))
         self._trace_report(report)
+        self._record_metrics(report)
         return report
 
     # -- numeric execution -----------------------------------------------------
@@ -462,4 +500,5 @@ class Executor:
                     ).copy()
                 report.steps.append(timing)
         self._trace_report(report)
+        self._record_metrics(report)
         return state, report

@@ -22,7 +22,7 @@ from repro.nn.losses import accuracy, cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
 from repro.nn.tensor import Tensor, no_grad
-from repro.obs import get_tracer
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["TrainingHistory", "Trainer"]
 
@@ -247,6 +247,7 @@ class Trainer:
                 partial_accs = [float(v) for v in meta["partial"]["accs"]]
                 history.resumed_from_step = ckpt_step
         tracer = get_tracer()
+        registry = get_registry()
         with tracer.span(
             "trainer.fit", category="train", epochs=epochs
         ) as fit_span:
@@ -264,6 +265,8 @@ class Trainer:
                         consumed += 1
                         if consumed <= skip:
                             continue
+                        if registry.enabled:
+                            t_step = time.perf_counter()
                         if tracer.enabled:
                             with tracer.span("train_step", category="train"):
                                 loss, acc = self.train_step(x, y)
@@ -272,6 +275,13 @@ class Trainer:
                             )
                         else:
                             loss, acc = self.train_step(x, y)
+                        if registry.enabled:
+                            registry.histogram("trainer.step_s").observe(
+                                time.perf_counter() - t_step
+                            )
+                            registry.counter("trainer.steps").inc()
+                            registry.gauge("trainer.loss").set(loss)
+                            registry.gauge("trainer.accuracy").set(acc)
                         losses.append(loss)
                         accs.append(acc)
                         history.steps += 1
@@ -304,6 +314,9 @@ class Trainer:
                                         else None,
                                     ),
                                 )
+                            registry.counter(
+                                "trainer.checkpoint_writes"
+                            ).inc()
                 if consumed == 0:
                     raise ValueError(
                         "train_loader is exhausted: it yielded no batches "
@@ -340,6 +353,9 @@ class Trainer:
                         tracer.counter(
                             "val", {"loss": vl, "accuracy": va}
                         )
+                    if registry.enabled:
+                        registry.gauge("trainer.val_loss").set(vl)
+                        registry.gauge("trainer.val_accuracy").set(va)
                 if checkpoint is not None:
                     with tracer.span(
                         "checkpoint.save",
@@ -361,6 +377,9 @@ class Trainer:
                                 else None,
                             ),
                         )
+                    registry.counter("trainer.checkpoint_writes").inc()
+                if registry.enabled:
+                    registry.counter("trainer.epochs").inc()
                 if verbose:
                     msg = (
                         f"epoch {epoch + 1}/{epochs} "

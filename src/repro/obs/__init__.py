@@ -2,23 +2,32 @@
 
 The simulators compute per-step compute/exchange/sync splits, per-kernel
 times and per-tile memory maps, then historically threw them away after
-rendering a text table.  This package keeps them: a :class:`Tracer`
-records nested spans (wall-clock on the host track, simulated time on
-virtual device tracks) and counters, and the exporters turn a trace into
-a Chrome ``trace_event`` JSON (loadable in ``chrome://tracing`` /
-Perfetto) or a text flame summary.
+rendering a text table.  This package keeps them:
 
-Tracing is **off by default** and zero-cost when disabled: the module
-installs a :data:`NULL_TRACER` whose every method is a no-op, so the
-instrumented code paths change neither behavior nor timing-model output.
-Enable it around a region with::
+* a :class:`Tracer` records nested spans (wall-clock on the host track,
+  simulated time on virtual device tracks) and counters; exporters turn
+  a trace into a Chrome ``trace_event`` JSON (loadable in
+  ``chrome://tracing`` / Perfetto) or a text flame summary;
+* a :class:`MetricRegistry` records labelled counters, gauges and
+  log-bucketed histograms — the totals a perf gate can diff;
+* :mod:`repro.obs.report` joins both (plus compiler memory/liveness
+  data) into a versioned ``repro.run/1`` JSON manifest, and
+  :mod:`repro.obs.regress` diffs two manifests with per-metric
+  tolerances (``python -m repro report`` / ``python -m repro regress``).
+
+Both tracing and metrics are **off by default** and zero-cost when
+disabled: the module installs :data:`NULL_TRACER` / :data:`NULL_REGISTRY`
+singletons whose every method is a no-op, so the instrumented code paths
+change neither behavior nor timing-model output.  Enable them around a
+region with::
 
     from repro import obs
 
-    with obs.tracing() as tracer:
+    with obs.tracing() as tracer, obs.collecting() as registry:
         run_experiment()
     obs.write_chrome_trace(tracer, "trace.json")
-    print(obs.flame_summary(tracer))
+    manifest = obs.build_manifest("my-run", registry=registry,
+                                  tracer=tracer)
 
 or from the command line with ``python -m repro trace <artefact>``.
 """
@@ -38,6 +47,27 @@ from repro.obs.export import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullRegistry,
+    collecting,
+    get_registry,
+    log_bucket_edges,
+    set_registry,
+)
+from repro.obs.report import (
+    ManifestError,
+    build_manifest,
+    read_manifest,
+    render_report,
+    smoke_manifest,
+    write_manifest,
+)
+from repro.obs.regress import Tolerance, regress
 
 __all__ = [
     "NULL_TRACER",
@@ -51,4 +81,22 @@ __all__ = [
     "flame_summary",
     "to_chrome_trace",
     "write_chrome_trace",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullRegistry",
+    "collecting",
+    "get_registry",
+    "log_bucket_edges",
+    "set_registry",
+    "ManifestError",
+    "build_manifest",
+    "read_manifest",
+    "render_report",
+    "smoke_manifest",
+    "write_manifest",
+    "Tolerance",
+    "regress",
 ]

@@ -138,6 +138,10 @@ def flame_summary(tracer: Tracer, max_rows: int = 40) -> str:
                 f"{_format_s(total / calls):>12s} {share:>6.1%}"
             )
         if len(ranked) > max_rows:
-            lines.append(f"  ... {len(ranked) - max_rows} more span names")
+            # No-silent-caps: capped output must say it is capped.
+            lines.append(
+                f"  … and {len(ranked) - max_rows} more rows "
+                f"(of {len(ranked)}; raise max_rows to see all)"
+            )
         lines.append("")
     return "\n".join(lines).rstrip("\n") or "(empty trace)"

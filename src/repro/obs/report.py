@@ -1,0 +1,351 @@
+"""PopVision-style run reports: the versioned ``repro.run/1`` manifest.
+
+A *run manifest* is one JSON document describing one run: host info,
+seed, config, the metric registry's snapshot, a per-tile memory section
+built from the compiler's :class:`~repro.ipu.compiler.MemoryReport`
+(totals match it exactly), an optional liveness summary, and the top-k
+hottest trace spans.  Manifests are what the perf trajectory is made of:
+every benchmark run writes one next to its ``.txt`` artefact, and
+:mod:`repro.obs.regress` diffs two of them with per-metric tolerances.
+
+Schema ``repro.run/1`` — field table in docs/OBSERVABILITY.md.  The CLI
+entry points are ``python -m repro report <manifest>`` (render) and
+``python -m repro report --smoke`` (run a small deterministic workload
+and write its manifest, the CI baseline generator).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+
+from repro.obs.metrics import (
+    DEFAULT_BYTES_EDGES,
+    Histogram,
+    MetricRegistry,
+    get_registry,
+)
+from repro.obs.tracer import Tracer, get_tracer
+from repro.utils import format_bytes, format_seconds
+
+__all__ = [
+    "SCHEMA",
+    "ManifestError",
+    "build_manifest",
+    "memory_section",
+    "liveness_section",
+    "hot_spans",
+    "write_manifest",
+    "read_manifest",
+    "render_report",
+    "smoke_manifest",
+]
+
+#: The manifest schema this module writes and understands.
+SCHEMA = "repro.run/1"
+
+
+class ManifestError(ValueError):
+    """A manifest file is missing, malformed, or of an unknown schema."""
+
+
+def _host_info() -> dict:
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "argv0": pathlib.Path(sys.argv[0]).name if sys.argv else "",
+    }
+
+
+def memory_section(memory) -> dict:
+    """The per-tile memory section of a manifest.
+
+    *memory* is an :class:`~repro.ipu.compiler.MemoryReport` (duck-typed
+    to avoid importing :mod:`repro.ipu` here).  Totals are copied
+    verbatim — ``total_bytes``/``peak_tile_bytes``/``free_bytes`` equal
+    the compiler's report exactly — and the per-tile byte distribution
+    is folded into fixed log-spaced buckets so manifests stay small and
+    comparable at any tile count.
+    """
+    hist = Histogram(edges=DEFAULT_BYTES_EDGES)
+    hist.observe_many(float(b) for b in memory.per_tile_bytes)
+    b = memory.breakdown
+    return {
+        "n_tiles": int(len(memory.per_tile_bytes)),
+        "usable_tile_bytes": float(memory.spec.usable_tile_memory),
+        "total_bytes": float(memory.total_bytes),
+        "peak_tile_bytes": float(memory.peak_tile_bytes),
+        "free_bytes": float(memory.free_bytes),
+        "fits": bool(memory.fits),
+        "breakdown": {
+            "variables": float(b.variables),
+            "vertex_state": float(b.vertex_state),
+            "edge_code": float(b.edge_code),
+            "control_code": float(b.control_code),
+            "codelet_code": float(b.codelet_code),
+            "exchange_buffers": float(b.exchange_buffers),
+        },
+        "per_tile_histogram": hist.snapshot_value(),
+    }
+
+
+def liveness_section(liveness) -> dict:
+    """Summary of a :class:`~repro.ipu.liveness.LivenessReport`."""
+    return {
+        "n_steps": int(liveness.n_steps),
+        "peak_bytes": float(liveness.peak_bytes),
+        "peak_step": int(liveness.peak_step),
+        "total_bytes": float(liveness.total_bytes),
+        "always_live_bytes": float(liveness.always_live_bytes),
+        "reuse_saving": float(liveness.reuse_saving),
+    }
+
+
+def hot_spans(tracer: Tracer, top_k: int = 20) -> list[dict]:
+    """The *top_k* heaviest (track, span-name) aggregates of a trace."""
+    totals: dict[tuple[str, str], list[float]] = {}
+    for span in tracer.spans:
+        bucket = totals.setdefault((span.track, span.name), [0.0, 0])
+        bucket[0] += span.duration_s
+        bucket[1] += 1
+    ranked = sorted(
+        totals.items(), key=lambda kv: (-kv[1][0], kv[0])
+    )
+    return [
+        {
+            "track": track,
+            "name": name,
+            "total_s": total,
+            "calls": int(calls),
+        }
+        for (track, name), (total, calls) in ranked[:top_k]
+    ]
+
+
+def build_manifest(
+    name: str,
+    registry: MetricRegistry | None = None,
+    tracer: Tracer | None = None,
+    memory=None,
+    liveness=None,
+    config: dict | None = None,
+    seed: int | None = None,
+    top_k: int = 20,
+) -> dict:
+    """Join metrics, trace and compiler data into one ``repro.run/1`` dict.
+
+    *registry*/*tracer* default to the process-global instances; the
+    memory and liveness sections appear only when their reports are
+    supplied.
+    """
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    manifest = {
+        "schema": SCHEMA,
+        "name": name,
+        "host": _host_info(),
+        "seed": seed,
+        "config": dict(config) if config else {},
+        "metrics": registry.snapshot(),
+        "hot_spans": hot_spans(tracer, top_k=top_k),
+        "trace": {
+            "n_spans": len(tracer.spans),
+            "n_counters": len(tracer.counters),
+            "tracks": tracer.tracks(),
+        },
+    }
+    if memory is not None:
+        manifest["memory"] = memory_section(memory)
+    if liveness is not None:
+        manifest["liveness"] = liveness_section(liveness)
+    return manifest
+
+
+def write_manifest(manifest: dict, path: str | pathlib.Path) -> pathlib.Path:
+    """Write *manifest* as sorted-key JSON to *path* and return it."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True, allow_nan=False)
+        + "\n"
+    )
+    return path
+
+
+def read_manifest(path: str | pathlib.Path) -> dict:
+    """Read and validate a manifest; raises :class:`ManifestError`."""
+    path = pathlib.Path(path)
+    try:
+        manifest = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ManifestError(f"manifest not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"manifest {path} is not JSON: {exc}") from None
+    if not isinstance(manifest, dict) or "schema" not in manifest:
+        raise ManifestError(f"manifest {path} has no 'schema' field")
+    if manifest["schema"] != SCHEMA:
+        raise ManifestError(
+            f"manifest {path} has schema {manifest['schema']!r}; "
+            f"this build understands {SCHEMA!r}"
+        )
+    return manifest
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _format_metric_value(entry: dict) -> str:
+    name = entry["name"]
+    value = entry.get("value", 0.0)
+    if name.endswith("_bytes"):
+        return format_bytes(value)
+    if name.endswith("_s"):
+        return format_seconds(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _render_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_report(manifest: dict) -> str:
+    """Render a manifest as the terminal run report."""
+    lines: list[str] = []
+    host = manifest.get("host", {})
+    lines.append(f"run report: {manifest.get('name', '?')}  [{SCHEMA}]")
+    lines.append(
+        f"  host: {host.get('platform', '?')}  "
+        f"python {host.get('python', '?')}  numpy {host.get('numpy', '?')}"
+    )
+    if manifest.get("seed") is not None:
+        lines.append(f"  seed: {manifest['seed']}")
+    if manifest.get("config"):
+        cfg = ", ".join(
+            f"{k}={v}" for k, v in sorted(manifest["config"].items())
+        )
+        lines.append(f"  config: {cfg}")
+    lines.append("")
+
+    metrics = manifest.get("metrics", [])
+    scalars = [m for m in metrics if m["type"] in ("counter", "gauge")]
+    histograms = [m for m in metrics if m["type"] == "histogram"]
+    if scalars:
+        lines.append(f"metrics ({len(scalars)} scalar)")
+        for m in scalars:
+            label = f"{m['name']}{_render_labels(m['labels'])}"
+            lines.append(
+                f"  {label:<52s} {m['type']:<7s} "
+                f"{_format_metric_value(m):>14s}"
+            )
+        lines.append("")
+    if histograms:
+        lines.append(f"histograms ({len(histograms)})")
+        for m in histograms:
+            label = f"{m['name']}{_render_labels(m['labels'])}"
+            mean = m["sum"] / m["count"] if m["count"] else 0.0
+            lines.append(
+                f"  {label:<52s} count={m['count']:<7d} "
+                f"sum={m['sum']:.6g} mean={mean:.6g}"
+            )
+        lines.append("")
+
+    mem = manifest.get("memory")
+    if mem is not None:
+        lines.append("per-tile memory")
+        lines.append(
+            f"  tiles: {mem['n_tiles']}  "
+            f"usable/tile: {format_bytes(mem['usable_tile_bytes'])}  "
+            f"fits: {'yes' if mem['fits'] else 'NO'}"
+        )
+        lines.append(
+            f"  total: {format_bytes(mem['total_bytes'])}  "
+            f"peak tile: {format_bytes(mem['peak_tile_bytes'])}  "
+            f"free: {format_bytes(mem['free_bytes'])}"
+        )
+        for key, nbytes in mem["breakdown"].items():
+            lines.append(f"    {key:<18s} {format_bytes(nbytes):>12s}")
+        hist = mem["per_tile_histogram"]
+        occupied = [
+            (edge, count)
+            for edge, count in zip(
+                list(hist["edges"]) + [float("inf")],
+                hist["bucket_counts"],
+            )
+            if count
+        ]
+        lines.append("  per-tile byte distribution (bucket <= edge):")
+        for edge, count in occupied:
+            edge_s = (
+                "inf" if edge == float("inf") else format_bytes(edge)
+            )
+            lines.append(f"    <= {edge_s:>10s}  {count:>6d} tiles")
+        lines.append("")
+
+    live = manifest.get("liveness")
+    if live is not None:
+        lines.append("liveness")
+        lines.append(
+            f"  peak: {format_bytes(live['peak_bytes'])} at step "
+            f"{live['peak_step']}/{live['n_steps']}  "
+            f"no-reuse total: {format_bytes(live['total_bytes'])}  "
+            f"saving: {live['reuse_saving']:.0%}"
+        )
+        lines.append("")
+
+    spans = manifest.get("hot_spans", [])
+    if spans:
+        lines.append(f"hot spans (top {len(spans)})")
+        for s in spans:
+            lines.append(
+                f"  [{s['track']}] {s['name']:<38s} "
+                f"{format_seconds(s['total_s']):>12s} "
+                f"x{s['calls']}"
+            )
+    return "\n".join(lines).rstrip("\n")
+
+
+# -- the smoke workload --------------------------------------------------------
+
+
+def smoke_manifest(size: int = 256, seed: int = 0) -> dict:
+    """Run a small, fully deterministic workload and build its manifest.
+
+    Compiles a poplin matmul graph, runs liveness analysis and a BSP
+    time estimate under a fresh tracer + registry.  Every gateable
+    metric is simulated (cost-model) output, so two runs on any machine
+    produce identical ``metrics`` sections — this is what CI diffs
+    against ``benchmarks/baselines/smoke.json``.
+    """
+    from repro.ipu.compiler import compile_graph
+    from repro.ipu.executor import Executor
+    from repro.ipu.liveness import compute_liveness
+    from repro.ipu.machine import GC200
+    from repro.ipu.poplin import build_matmul_graph
+    from repro.obs.metrics import collecting
+    from repro.obs.tracer import tracing
+
+    with tracing() as tracer, collecting() as registry:
+        graph, _ = build_matmul_graph(GC200, size, size, size)
+        compiled = compile_graph(graph, GC200, check_fit=False)
+        liveness = compute_liveness(graph)
+        Executor(compiled).estimate()
+    return build_manifest(
+        "smoke",
+        registry=registry,
+        tracer=tracer,
+        memory=compiled.memory,
+        liveness=liveness,
+        config={"size": size, "spec": GC200.name},
+        seed=seed,
+    )

@@ -206,7 +206,10 @@ class NullTracer(Tracer):
     """Disabled tracer: records nothing, every call is O(1) and tiny.
 
     Hot loops additionally guard on :attr:`enabled` so the disabled path
-    costs a single attribute check per iteration.
+    costs a single attribute check per iteration.  Every public
+    :class:`Tracer` method has an explicit no-op override here (enforced
+    by a contract test), so instrumented code never needs to branch on
+    the tracer's type.
     """
 
     enabled = False
@@ -218,14 +221,26 @@ class NullTracer(Tracer):
         self._host_stack = []
         self._cursors = {}
 
+    def now(self) -> float:
+        return 0.0
+
     def span(self, name, category="host", **attributes):  # type: ignore[override]
         return _NULL_SPAN_CONTEXT
+
+    def cursor(self, track: str) -> float:
+        return 0.0
 
     def add_span(self, name, duration_s, track, **kwargs):  # type: ignore[override]
         return _NULL_SPAN_CONTEXT.__enter__()
 
     def counter(self, name, values, track=HOST_TRACK, time_s=None):
         return None
+
+    def tracks(self) -> list[str]:
+        return [HOST_TRACK]
+
+    def spans_on(self, track: str) -> list[SpanRecord]:
+        return []
 
 
 #: The module-level singleton installed when tracing is off.

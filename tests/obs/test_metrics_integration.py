@@ -1,0 +1,225 @@
+"""Integration: the metric registry threaded through executor,
+compiler, trainer and fault injector.
+
+The per-subsystem contract is that running under ``obs.collecting()``
+yields metrics that agree exactly with the subsystem's own report
+objects, and that running without a registry is metrically silent and
+numerically unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, obs
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    LINK_DROP,
+    TRANSIENT_COMPUTE,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.ipu.compiler import compile_graph
+from repro.ipu.executor import Executor
+from repro.ipu.machine import GC200
+from repro.ipu.poplin import build_matmul_graph
+
+
+def metric(registry, name, **labels):
+    for entry in registry.snapshot():
+        if entry["name"] == name and entry["labels"] == labels:
+            return entry
+    raise AssertionError(f"metric {name} {labels} not recorded")
+
+
+def small_executor(m=8, n=8, k=8) -> Executor:
+    graph, _ = build_matmul_graph(GC200, m, n, k)
+    return Executor(compile_graph(graph, GC200, check_fit=False))
+
+
+class TestExecutorMetrics:
+    def test_phase_counters_match_report(self):
+        executor = small_executor()
+        with obs.collecting() as registry:
+            report = executor.estimate()
+        graph = executor.graph.name
+        for phase in ("compute", "exchange", "sync", "host", "retry"):
+            entry = metric(registry, f"executor.{phase}_s", graph=graph)
+            assert entry["value"] == pytest.approx(
+                getattr(report, f"{phase}_s"), abs=1e-12
+            )
+        assert (
+            metric(registry, "executor.exchange_bytes", graph=graph)["value"]
+            == report.exchange_bytes
+        )
+        assert (
+            metric(registry, "executor.retries", graph=graph)["value"]
+            == report.retries
+        )
+
+    def test_step_histogram_covers_every_step(self):
+        executor = small_executor()
+        with obs.collecting() as registry:
+            report = executor.estimate()
+        hist = metric(registry, "executor.step_s", graph=executor.graph.name)
+        assert hist["count"] == len(report.steps)
+        assert hist["sum"] == pytest.approx(
+            sum(s.total_s for s in report.steps), abs=1e-12
+        )
+
+    def test_step_kind_counters_sum_to_steps(self):
+        executor = small_executor()
+        with obs.collecting() as registry:
+            report = executor.estimate()
+        kinds = [
+            e
+            for e in registry.snapshot()
+            if e["name"] == "executor.steps"
+        ]
+        assert sum(e["value"] for e in kinds) == len(report.steps)
+
+    def test_run_records_like_estimate(self):
+        executor = small_executor(4, 4, 4)
+        with obs.collecting() as r_est:
+            executor.estimate()
+        with obs.collecting() as r_run:
+            executor.run({"A": np.ones((4, 4)), "B": np.ones((4, 4))})
+        assert r_est.snapshot() == r_run.snapshot()
+
+    def test_no_registry_same_report(self):
+        executor = small_executor()
+        baseline = executor.estimate()
+        with obs.collecting():
+            collected = executor.estimate()
+        assert collected.total_s == baseline.total_s
+        assert obs.get_registry().snapshot() == []
+
+
+class TestCompilerMetrics:
+    def test_gauges_match_memory_report(self):
+        graph, _ = build_matmul_graph(GC200, 16, 16, 16)
+        with obs.collecting() as registry:
+            compiled = compile_graph(graph, GC200, check_fit=False)
+        name = graph.name
+        mem = compiled.memory
+        assert (
+            metric(registry, "compile.total_bytes", graph=name)["value"]
+            == mem.total_bytes
+        )
+        assert (
+            metric(registry, "compile.peak_tile_bytes", graph=name)["value"]
+            == mem.peak_tile_bytes
+        )
+        assert (
+            metric(registry, "compile.variables", graph=name)["value"]
+            == graph.n_variables
+        )
+        assert (
+            metric(registry, "compile.vertices", graph=name)["value"]
+            == graph.n_vertices
+        )
+        assert metric(registry, "compile.graphs")["value"] == 1
+
+    def test_tile_histogram_totals_match_exactly(self):
+        # The manifest acceptance bar, at the source: the per-tile
+        # histogram's count/sum/max equal the MemoryReport's.
+        graph, _ = build_matmul_graph(GC200, 16, 16, 16)
+        with obs.collecting() as registry:
+            compiled = compile_graph(graph, GC200, check_fit=False)
+        hist = metric(registry, "compile.tile_bytes", graph=graph.name)
+        assert hist["count"] == len(compiled.memory.per_tile_bytes)
+        assert hist["sum"] == pytest.approx(compiled.memory.total_bytes)
+        assert hist["max"] == compiled.memory.peak_tile_bytes
+
+
+class TestTrainerMetrics:
+    def _fit(self):
+        rng = np.random.default_rng(0)
+        ds = nn.ArrayDataset(
+            rng.standard_normal((40, 8)), rng.integers(0, 3, 40)
+        )
+        model = nn.Sequential(nn.Linear(8, 3, seed=0))
+        trainer = nn.Trainer(model, nn.SGD(model.parameters(), lr=0.01))
+        with obs.collecting() as registry:
+            history = trainer.fit(
+                train_loader=nn.DataLoader(ds, 10, seed=0),
+                val_loader=nn.DataLoader(ds, 20, shuffle=False),
+                epochs=2,
+            )
+        return history, registry
+
+    def test_step_and_epoch_counts(self):
+        history, registry = self._fit()
+        assert metric(registry, "trainer.steps")["value"] == history.steps
+        assert metric(registry, "trainer.epochs")["value"] == 2
+        assert (
+            metric(registry, "trainer.step_s")["count"] == history.steps
+        )
+
+    def test_final_gauges_match_history(self):
+        history, registry = self._fit()
+        # The loss gauge is last-write-wins: the final train step's
+        # loss, not the epoch average history records.
+        loss = metric(registry, "trainer.loss")["value"]
+        assert np.isfinite(loss) and loss > 0
+        assert metric(registry, "trainer.val_accuracy")[
+            "value"
+        ] == pytest.approx(history.val_accuracy[-1])
+        assert metric(registry, "trainer.val_loss")[
+            "value"
+        ] == pytest.approx(history.val_loss[-1])
+
+
+class TestFaultMetrics:
+    def test_counters_match_fault_report(self):
+        injector = FaultInjector(FaultPlan.none())
+        with obs.collecting() as registry:
+            injector.record_recovered(
+                FaultEvent(TRANSIENT_COMPUTE, step=1, tile=2),
+                retries=3,
+                retry_s=1e-3,
+            )
+            injector.record_fatal(FaultEvent(LINK_DROP, step=2, tile=0))
+        report = injector.report()
+        assert (
+            metric(registry, "faults.injected", kind=TRANSIENT_COMPUTE)[
+                "value"
+            ]
+            == 1
+        )
+        assert (
+            metric(registry, "faults.recovered", kind=TRANSIENT_COMPUTE)[
+                "value"
+            ]
+            == report.n_recovered
+        )
+        assert (
+            metric(registry, "faults.retries", kind=TRANSIENT_COMPUTE)[
+                "value"
+            ]
+            == report.total_retries
+        )
+        assert (
+            metric(registry, "faults.fatal", kind=LINK_DROP)["value"]
+            == report.n_fatal
+        )
+
+    def test_injected_counts_fault_identity_once(self):
+        # A fault seen fatal, then recovered after recompile, is one
+        # injection — mirroring the ledger's first-observation rule.
+        injector = FaultInjector(FaultPlan.none())
+        event = FaultEvent(TRANSIENT_COMPUTE, step=1, tile=2)
+        with obs.collecting() as registry:
+            injector.record_fatal(event)
+            injector.record_recovered(event, retries=1)
+        assert (
+            metric(registry, "faults.injected", kind=TRANSIENT_COMPUTE)[
+                "value"
+            ]
+            == 1
+        )
+        assert (
+            metric(registry, "faults.recovered", kind=TRANSIENT_COMPUTE)[
+                "value"
+            ]
+            == 1
+        )

@@ -1,0 +1,92 @@
+"""Contract tests: the null tracer/registry mirror the real public API.
+
+Instrumented code must never branch on the tracer's (or registry's)
+type: every public method of the real class needs an explicit no-op
+override on its null twin, so a future method added to `Tracer` or
+`MetricRegistry` without a null override fails here instead of silently
+inheriting stateful behavior.
+"""
+
+import inspect
+
+from repro import obs
+from repro.obs.tracer import HOST_TRACK
+
+
+def public_methods(cls) -> set[str]:
+    return {
+        name
+        for name, member in inspect.getmembers(
+            cls, predicate=inspect.isfunction
+        )
+        if not name.startswith("_")
+    }
+
+
+class TestNullTracerContract:
+    def test_every_public_method_overridden(self):
+        for name in public_methods(obs.Tracer):
+            assert name in vars(obs.NullTracer), (
+                f"Tracer.{name} has no explicit NullTracer override; "
+                "add a no-op so instrumented code never branches on "
+                "tracer type"
+            )
+
+    def test_no_extra_public_surface(self):
+        assert public_methods(obs.NullTracer) <= public_methods(
+            obs.Tracer
+        )
+
+    def test_all_calls_are_noops(self):
+        tracer = obs.NullTracer()
+        with tracer.span("s", category="c", k=1) as record:
+            record.attributes["x"] = 1  # yielded record is writable
+        tracer.add_span("a", 1.0, "dev", category="x")
+        tracer.counter("c", {"v": 1.0}, track="dev")
+        assert tracer.spans == []
+        assert tracer.counters == []
+        assert tracer.now() == 0.0
+        assert tracer.cursor("dev") == 0.0
+        assert tracer.tracks() == [HOST_TRACK]
+        assert tracer.spans_on("dev") == []
+        assert not tracer.enabled
+
+    def test_singleton_state_never_leaks(self):
+        with obs.NULL_TRACER.span("s"):
+            obs.NULL_TRACER.add_span("a", 1.0, "dev")
+        assert obs.NULL_TRACER.spans == []
+        assert obs.NULL_TRACER._cursors == {}
+        assert obs.NULL_TRACER._host_stack == []
+
+
+class TestNullRegistryContract:
+    def test_every_public_method_overridden(self):
+        for name in public_methods(obs.MetricRegistry):
+            assert name in vars(obs.NullRegistry), (
+                f"MetricRegistry.{name} has no explicit NullRegistry "
+                "override; add a no-op"
+            )
+
+    def test_null_instruments_accept_all_instrument_calls(self):
+        # Every public mutator of every real instrument must exist on
+        # the shared null instrument, so call sites are type-blind.
+        null = obs.NULL_REGISTRY
+        for cls, getter in (
+            (obs.Counter, lambda: null.counter("x")),
+            (obs.Gauge, lambda: null.gauge("x")),
+            (obs.Histogram, lambda: null.histogram("x")),
+        ):
+            instrument = getter()
+            for name in public_methods(cls):
+                if name == "snapshot_value":
+                    continue  # registry-side, never called by users
+                assert hasattr(instrument, name), (
+                    f"{cls.__name__}.{name} missing on the null "
+                    "instrument"
+                )
+
+    def test_state_never_leaks(self):
+        obs.NULL_REGISTRY.counter("x", k=1).inc(5)
+        obs.NULL_REGISTRY.histogram("h").observe(1.0)
+        assert obs.NULL_REGISTRY.snapshot() == []
+        assert obs.NULL_REGISTRY._metrics == {}
