@@ -1,0 +1,68 @@
+"""Bench: warm-cache recompilation speedup on the Fig 5 grid.
+
+Acceptance gate for the compilation cache: re-rendering the full Fig 5
+size sweep against a warm on-disk cache must be at least 5x faster than
+the cold run that populated it.  The artefact records both timings, the
+speedup, and the hit/miss counters from each pass.
+"""
+
+import time
+
+from repro.bench.reporting import Table
+from repro.cache import CompilationCache, caching
+from repro.experiments import fig5
+
+#: Required cold/warm ratio (ISSUE acceptance: ">= 5x faster").
+MIN_SPEEDUP = 5.0
+
+
+def _timed_render(cache_dir):
+    cache = CompilationCache(path=cache_dir)
+    with caching(cache):
+        start = time.perf_counter()
+        text = fig5.render()
+        elapsed = time.perf_counter() - start
+    return text, elapsed, cache.stats
+
+
+def test_warm_cache_speedup(tmp_path_factory, save_artefact):
+    cache_dir = tmp_path_factory.mktemp("fig5-cache")
+    cold_text, cold_s, cold_stats = _timed_render(cache_dir)
+    warm_text, warm_s, warm_stats = _timed_render(cache_dir)
+
+    # The cached render is byte-identical to the cold one.
+    assert warm_text == cold_text
+    # Cold pass compiled everything; warm pass compiled nothing.
+    assert cold_stats.misses == cold_stats.stores > 0
+    assert warm_stats.hits == cold_stats.misses
+    assert warm_stats.misses == 0
+
+    speedup = cold_s / warm_s
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm cache only {speedup:.1f}x faster "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s); need {MIN_SPEEDUP}x"
+    )
+
+    table = Table(
+        title="Compilation cache: cold vs warm Fig 5 grid",
+        columns=["pass", "time (s)", "hits", "misses", "stores"],
+    )
+    table.add_row(
+        "cold", f"{cold_s:.4f}", cold_stats.hits,
+        cold_stats.misses, cold_stats.stores,
+    )
+    table.add_row(
+        "warm", f"{warm_s:.4f}", warm_stats.hits,
+        warm_stats.misses, warm_stats.stores,
+    )
+    # Install a cache carrying the combined counters so the saved
+    # manifest's ``cache`` section records the whole cold+warm story.
+    summary = CompilationCache(path=cache_dir)
+    summary.stats.merge(cold_stats)
+    summary.stats.merge(warm_stats)
+    with caching(summary):
+        save_artefact(
+            "cache_warm",
+            table.render()
+            + f"\nspeedup: {speedup:.1f}x (gate: >={MIN_SPEEDUP}x)",
+        )

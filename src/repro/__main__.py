@@ -24,10 +24,11 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro import obs
+from repro.cache import NULL_CACHE, CompilationCache, caching
 from repro.experiments import (
     ablation,
     fig3,
@@ -42,76 +43,114 @@ from repro.experiments import (
     table5,
 )
 
-#: name -> (fast renderer, full renderer, description)
-ARTEFACTS: dict[str, tuple[Callable[[], str], Callable[[], str], str]] = {
-    "table1": (
-        table1.render,
-        table1.render,
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How an artefact run was requested: budget and parallelism."""
+
+    full: bool = False
+    jobs: int = 1
+
+
+@dataclass(frozen=True)
+class Artefact:
+    """One regenerable artefact: its renderer and catalogue entry.
+
+    ``render`` receives a :class:`RunOptions`; renderers that have no
+    full-scale variant or no grid to parallelise simply ignore the
+    corresponding field.
+    """
+
+    render: Callable[[RunOptions], str]
+    desc: str
+    slow: bool = field(default=False)
+
+
+def _render_table2(o: RunOptions) -> str:
+    if o.full:
+        return table2.render(jobs=o.jobs)
+    return table2.render(sizes=[1024], jobs=o.jobs)
+
+
+def _render_fig6(o: RunOptions) -> str:
+    if o.full:
+        return fig6.render(jobs=o.jobs)
+    return fig6.render(sizes=[128, 512, 2048], jobs=o.jobs)
+
+
+def _render_fig7(o: RunOptions) -> str:
+    if o.full:
+        return fig7.render(jobs=o.jobs)
+    return fig7.render(sizes=[128, 512, 2048], jobs=o.jobs)
+
+
+def _render_table4(o: RunOptions) -> str:
+    if o.full:
+        return table4.render()
+    return table4.render(table4.run(epochs=2, n_train=800, n_test=400))
+
+
+def _render_table5(o: RunOptions) -> str:
+    if o.full:
+        return table5.render(jobs=o.jobs)
+    return table5.render(
+        table5.run(
+            grid=[(2, 8, 2), (2, 8, 64), (16, 8, 2), (16, 32, 2)],
+            epochs=1,
+            n_train=400,
+            n_test=200,
+            jobs=o.jobs,
+        )
+    )
+
+
+#: The artefact catalogue: name -> :class:`Artefact`.
+ARTEFACTS: dict[str, Artefact] = {
+    "table1": Artefact(
+        lambda o: table1.render(),
         "device spec comparison (GC200 vs A30)",
     ),
-    "fig3": (
-        fig3.render,
-        fig3.render,
+    "fig3": Artefact(
+        lambda o: fig3.render(),
         "exchange latency/bandwidth vs tile distance",
     ),
-    "table2": (
-        lambda: table2.render(sizes=[1024]),
-        lambda: table2.render(),
-        "dense/sparse matmul GFLOP/s matrix",
+    "table2": Artefact(
+        _render_table2, "dense/sparse matmul GFLOP/s matrix"
     ),
-    "fig4": (
-        lambda: fig4.render(base=1024),
-        lambda: fig4.render(),
+    "fig4": Artefact(
+        lambda o: fig4.render() if o.full else fig4.render(base=1024),
         "skewed matmul, GPU vs IPU",
     ),
-    "fig5": (
-        fig5.render,
-        fig5.render,
+    "fig5": Artefact(
+        lambda o: fig5.render(jobs=o.jobs),
         "IPU graph/memory growth with problem size",
     ),
-    "fig6": (
-        lambda: fig6.render(sizes=[128, 512, 2048]),
-        lambda: fig6.render(),
-        "linear vs butterfly vs pixelfly layer times",
+    "fig6": Artefact(
+        _render_fig6, "linear vs butterfly vs pixelfly layer times"
     ),
-    "fig7": (
-        lambda: fig7.render(sizes=[128, 512, 2048]),
-        lambda: fig7.render(),
-        "compute sets & memory per factorization",
+    "fig7": Artefact(
+        _render_fig7, "compute sets & memory per factorization"
     ),
-    "table4": (
-        lambda: table4.render(
-            table4.run(epochs=2, n_train=800, n_test=400)
-        ),
-        lambda: table4.render(),
+    "table4": Artefact(
+        _render_table4,
         "SHL on synthetic CIFAR-10 (trains a model per method!)",
+        slow=True,
     ),
-    "table5": (
-        lambda: table5.render(
-            table5.run(
-                grid=[(2, 8, 2), (2, 8, 64), (16, 8, 2), (16, 32, 2)],
-                epochs=1,
-                n_train=400,
-                n_test=200,
-            )
-        ),
-        lambda: table5.render(),
-        "pixelfly hyper-parameter sweep",
+    "table5": Artefact(
+        _render_table5, "pixelfly hyper-parameter sweep", slow=True
     ),
-    "ablations": (
-        ablation.render,
-        ablation.render,
+    "ablations": Artefact(
+        lambda o: ablation.render(),
         "cost-model ablations (streaming, AMP butterfly, sync)",
     ),
-    "generations": (
-        generations.render,
-        generations.render,
+    "generations": Artefact(
+        lambda o: generations.render(),
         "GC2 vs GC200 generational comparison",
     ),
 }
 
 #: Excluded from `all` without --full (they train models for minutes).
-SLOW = {"table4", "table5"}
+SLOW = {name for name, a in ARTEFACTS.items() if a.slow}
 
 
 def _default_output_dir() -> pathlib.Path:
@@ -121,6 +160,48 @@ def _default_output_dir() -> pathlib.Path:
     if candidate.parent.is_dir():
         return candidate
     return pathlib.Path("benchmarks/output")
+
+
+def _default_cache_dir() -> pathlib.Path:
+    """``benchmarks/cache`` in a source checkout, else the working dir."""
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    candidate = repo_root / "benchmarks" / "cache"
+    if candidate.parent.is_dir():
+        return candidate
+    return pathlib.Path("benchmarks/cache")
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for grid experiments (default 1: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the compilation cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="on-disk compilation cache directory "
+        "(default: benchmarks/cache)",
+    )
+
+
+def _make_cache(args: argparse.Namespace) -> CompilationCache:
+    """The run's compilation cache, honouring --no-cache/--cache-dir."""
+    if args.no_cache:
+        return NULL_CACHE
+    cache_dir = (
+        args.cache_dir if args.cache_dir is not None else _default_cache_dir()
+    )
+    return CompilationCache(path=cache_dir)
 
 
 # -- subcommands ---------------------------------------------------------------
@@ -143,9 +224,15 @@ def run_main(argv: list[str]) -> int:
         help="paper-scale budgets (slow: full training runs)",
     )
     parser.add_argument(
-        "--out", type=pathlib.Path, default=None, help="also write files"
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="also write NAME.txt and a repro.run/1 NAME.json manifest",
     )
+    _add_cache_flags(parser)
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.artefacts == ["list"]:
         return list_main([])
@@ -162,9 +249,30 @@ def run_main(argv: list[str]) -> int:
 
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
+    opts = RunOptions(full=args.full, jobs=args.jobs)
     for name in names:
-        fast, full, _ = ARTEFACTS[name]
-        text = (full if args.full else fast)()
+        # A fresh cache per artefact (sharing one disk directory) keeps
+        # each manifest's cache section scoped to that artefact's run.
+        cache = _make_cache(args)
+        if args.out:
+            with obs.tracing() as tracer, obs.collecting() as registry, \
+                    caching(cache):
+                text = ARTEFACTS[name].render(opts)
+            manifest = obs.build_manifest(
+                name,
+                registry=registry,
+                tracer=tracer,
+                cache=cache,
+                config={
+                    "artefact": name,
+                    "full": args.full,
+                    "jobs": args.jobs,
+                },
+            )
+            obs.write_manifest(manifest, args.out / f"{name}.json")
+        else:
+            with caching(cache):
+                text = ARTEFACTS[name].render(opts)
         print(text)
         print()
         if args.out:
@@ -178,9 +286,9 @@ def list_main(argv: list[str]) -> int:
         prog="python -m repro list",
         description="List available artefacts.",
     ).parse_args(argv)
-    for name, (_, _, desc) in ARTEFACTS.items():
-        slow = " [slow]" if name in SLOW else ""
-        print(f"{name:12s} {desc}{slow}")
+    for name, artefact in ARTEFACTS.items():
+        slow = " [slow]" if artefact.slow else ""
+        print(f"{name:12s} {artefact.desc}{slow}")
     return 0
 
 
@@ -211,11 +319,10 @@ def trace_main(argv: list[str]) -> int:
             f"unknown artefact {args.artefact!r}; "
             "try 'python -m repro list'"
         )
-    fast, full, _ = ARTEFACTS[args.artefact]
     out_dir = args.out if args.out is not None else _default_output_dir()
     out_dir.mkdir(parents=True, exist_ok=True)
     with obs.tracing() as tracer:
-        text = (full if args.full else fast)()
+        text = ARTEFACTS[args.artefact].render(RunOptions(full=args.full))
     print(text)
     print()
     trace_path = obs.write_chrome_trace(
@@ -420,9 +527,9 @@ def _top_help() -> str:
         lines.append(f"  {name:<10s} {spec.help}")
     lines.append("")
     lines.append("artefacts (python -m repro <name>... / run <name>...):")
-    for name, (_, _, desc) in ARTEFACTS.items():
-        slow = " [slow]" if name in SLOW else ""
-        lines.append(f"  {name:<12s} {desc}{slow}")
+    for name, artefact in ARTEFACTS.items():
+        slow = " [slow]" if artefact.slow else ""
+        lines.append(f"  {name:<12s} {artefact.desc}{slow}")
     lines.append("")
     lines.append(
         "use 'python -m repro <subcommand> --help' for per-subcommand "

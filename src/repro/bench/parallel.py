@@ -1,0 +1,157 @@
+"""Deterministic parallel experiment runner.
+
+Grid experiments (fig5/fig6/fig7/table2/table5) are embarrassingly
+parallel: each configuration compiles and times its graphs independently
+of every other.  :func:`run_grid` fans a top-level worker function out
+over a process pool while keeping every result bitwise identical to a
+serial run:
+
+* **Seeding** — each configuration gets its own child of
+  ``numpy.random.SeedSequence(seed)`` (spawned in config order), so the
+  stream a config sees does not depend on which worker ran it or in what
+  order.  A serial run (``jobs=1``) walks the *same* spawned sequences.
+* **Ordering** — results come back in submission (config) order
+  regardless of completion order, and worker metric/cache statistics are
+  merged into the parent in that same order.
+* **Crash surfacing** — an exception inside a worker is returned as a
+  pickled traceback string and re-raised in the parent as
+  :class:`WorkerError` naming the config; a worker process dying
+  outright (``BrokenProcessPool``) is wrapped the same way instead of
+  surfacing as an opaque pool error.
+* **Caching** — workers open the same on-disk
+  :class:`~repro.cache.CompilationCache` directory (safe: entry writes
+  are atomic per-process temp files + rename), so one worker's compile
+  is every other worker's hit.  Their hit/miss counters merge into the
+  parent cache's stats.
+
+Worker functions must be defined at module top level (the pool uses the
+``spawn`` start method — fork is unsafe with threaded BLAS — and spawn
+pickles by reference).  They receive ``(config, seed_seq)`` and return
+any picklable value.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.cache import CompilationCache, caching, get_cache
+from repro.obs.metrics import MetricRegistry, collecting, get_registry
+
+__all__ = ["WorkerError", "run_grid"]
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed; carries the config and remote traceback."""
+
+    def __init__(self, config: Any, detail: str) -> None:
+        super().__init__(
+            f"worker failed for config {config!r}:\n{detail}"
+        )
+        self.config = config
+        self.detail = detail
+
+
+def _run_in_worker(
+    worker: Callable,
+    config: Any,
+    seed_seq: np.random.SeedSequence,
+    cache_dir: str | None,
+) -> tuple[str, Any, list[dict], dict]:
+    """Top-level trampoline executed inside a pool process.
+
+    Installs a fresh metric registry and (when a cache directory is
+    shared) a disk-backed compilation cache, runs *worker*, and ships
+    back ``("ok", result, metrics_snapshot, cache_stats)``.  Exceptions
+    become ``("error", traceback_text, ...)`` so the parent can re-raise
+    with full remote context.
+    """
+    cache = (
+        CompilationCache(path=cache_dir)
+        if cache_dir is not None
+        else CompilationCache()
+    )
+    try:
+        with collecting() as registry, caching(cache):
+            result = worker(config, seed_seq)
+        return "ok", result, registry.snapshot(), cache.stats.as_dict()
+    except Exception:
+        return "error", traceback.format_exc(), [], cache.stats.as_dict()
+
+
+def run_grid(
+    worker: Callable,
+    configs: Sequence[Any],
+    *,
+    jobs: int = 1,
+    seed: int = 0,
+    cache_dir: str | Path | None = None,
+    registry: MetricRegistry | None = None,
+) -> list[Any]:
+    """Run ``worker(config, seed_seq)`` for every config; ordered results.
+
+    ``jobs=1`` runs serially in-process (same seed spawning, current
+    global cache/registry — zero pickling), so parallel and serial runs
+    of the same grid are interchangeable.  ``jobs>1`` fans out over a
+    spawn-context process pool; *worker* must then be picklable (module
+    top level) and *cache_dir* points every worker at one shared on-disk
+    cache — defaulting to the ambient global cache's directory, so
+    ``python -m repro fig5 --jobs 4`` shares its cache with the workers
+    without any experiment-level plumbing.
+
+    Worker metric snapshots merge into *registry* (default: the global
+    one) and worker cache stats merge into the parent's global cache, in
+    config order.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    configs = list(configs)
+    seed_seqs = np.random.SeedSequence(seed).spawn(len(configs))
+    if jobs == 1:
+        return [
+            worker(config, seed_seq)
+            for config, seed_seq in zip(configs, seed_seqs)
+        ]
+
+    registry = registry if registry is not None else get_registry()
+    parent_cache = get_cache()
+    if cache_dir is None and parent_cache.enabled:
+        cache_dir = parent_cache.path
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    outcomes: list[tuple] = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(configs)) or 1,
+            mp_context=get_context("spawn"),
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_in_worker, worker, config, seed_seq, cache_dir
+                )
+                for config, seed_seq in zip(configs, seed_seqs)
+            ]
+            outcomes = [f.result() for f in futures]
+    except BrokenProcessPool as exc:
+        raise WorkerError(
+            "<unknown>",
+            f"a worker process died abruptly ({exc}); "
+            "results for this grid are incomplete",
+        ) from exc
+
+    results = []
+    for config, (status, payload, metrics, cache_stats) in zip(
+        configs, outcomes
+    ):
+        if status == "error":
+            raise WorkerError(config, payload)
+        registry.merge_snapshot(metrics)
+        if parent_cache.enabled:  # never mutate the NULL_CACHE singleton
+            parent_cache.stats.merge(cache_stats)
+        results.append(payload)
+    return results

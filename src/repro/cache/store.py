@@ -1,0 +1,324 @@
+"""Content-addressed compilation cache: in-memory LRU + on-disk tier.
+
+Graph compilation (memory accounting over every variable, vertex, edge
+and compute set) is a pure function of the lowered graph and the
+:class:`~repro.ipu.machine.IPUSpec` — on real hardware Poplar graph
+compilation dominates iteration time, and here it dominates the fig5/fig7
+sweeps.  This module stores compilation artefacts under a *canonical
+content hash* so an identical (graph, spec, excluded-tiles) triple is
+compiled exactly once per cache, process or machine:
+
+* the **memory tier** is a small LRU of decoded records (same process);
+* the **disk tier** is one ``.npz`` file per key, written with the
+  atomic write-temp/fsync/rename discipline of
+  :mod:`repro.faults.checkpoint` (versioned entries, corrupt or
+  truncated files fall back to a recompile, never an error).
+
+The module is a pure storage/key layer: it knows nothing about graphs
+or compilers.  :mod:`repro.ipu.compiler` converts ``CompiledGraph`` to
+and from :class:`CacheRecord` and computes keys; experiment workers in
+different processes share a cache by pointing at the same directory.
+
+Like the tracer and metric registry, a process-global cache is installed
+with :func:`set_cache`/:func:`caching` and defaults to a disabled
+:data:`NULL_CACHE`, so the uncached path costs one attribute check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.faults.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.obs import get_registry, get_tracer
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheRecord",
+    "CacheStats",
+    "CompilationCache",
+    "NullCache",
+    "NULL_CACHE",
+    "caching",
+    "canonical_key",
+    "dataclass_key",
+    "get_cache",
+    "set_cache",
+]
+
+#: Entry format version; part of every key, so a layout change cannot
+#: resurrect stale entries — it simply misses and recompiles.
+CACHE_SCHEMA = "repro.cache/1"
+
+#: Default memory-tier capacity (decoded records, LRU-evicted).
+DEFAULT_MEMORY_ENTRIES = 128
+
+
+def canonical_key(*parts) -> str:
+    """Hex digest of a canonical nested-tuple key.
+
+    Parts must be built from scalars, strings and (nested) tuples whose
+    ``repr`` is deterministic — no sets, dicts or object identities.
+    The schema version is always mixed in.
+    """
+    blob = repr((CACHE_SCHEMA,) + tuple(parts)).encode()
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def dataclass_key(obj) -> tuple:
+    """A dataclass instance as a canonical ``(field, value)`` tuple.
+
+    Used to fold *every* field of an :class:`~repro.ipu.machine.IPUSpec`
+    into the cache key, so changing any compiler-visible constant (tile
+    count, per-edge code bytes, reserved memory, ...) changes the key.
+    """
+    return (type(obj).__name__,) + tuple(
+        (f.name, getattr(obj, f.name)) for f in dataclass_fields(obj)
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/evict/corrupt counters for one cache instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits regardless of tier (the gateable aggregate)."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+        }
+
+    def merge(self, other: "CacheStats | dict") -> None:
+        """Add another instance's counters (worker-process roll-up)."""
+        values = other if isinstance(other, dict) else other.as_dict()
+        for field in (
+            "memory_hits",
+            "disk_hits",
+            "misses",
+            "stores",
+            "evictions",
+            "corrupt",
+        ):
+            setattr(self, field, getattr(self, field) + int(values[field]))
+
+
+@dataclass(frozen=True)
+class CacheRecord:
+    """One cached compilation artefact: named arrays + JSON-able metadata.
+
+    The cache never inspects the contents; the compiler owns the
+    encoding (see ``repro.ipu.compiler._record_from``).
+    """
+
+    arrays: dict[str, np.ndarray]
+    meta: dict
+
+
+class CompilationCache:
+    """Two-tier content-addressed store for compilation records.
+
+    ``path=None`` keeps the cache memory-only.  With a directory, every
+    store also lands on disk (atomically), and lookups fall through the
+    LRU to disk — which is how parallel experiment workers share work:
+    they all point at one directory, and a key compiled by any worker is
+    a disk hit for the rest.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ) -> None:
+        if memory_entries < 0:
+            raise ValueError(
+                f"memory_entries must be >= 0, got {memory_entries}"
+            )
+        self.path = Path(path) if path is not None else None
+        self.memory_entries = memory_entries
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, CacheRecord] = OrderedDict()
+
+    # -- tiers ---------------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.path is not None
+        return self.path / f"{key}.npz"
+
+    def _memory_put(self, key: str, record: CacheRecord) -> None:
+        if self.memory_entries == 0:
+            return
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+            get_registry().counter("cache.evictions").inc()
+
+    def _disk_get(self, key: str) -> CacheRecord | None:
+        if self.path is None:
+            return None
+        path = self._disk_path(key)
+        if not path.exists():
+            return None
+        try:
+            arrays, meta = load_checkpoint(path)
+        except CheckpointError:
+            # Truncated/corrupt entry: treat as a miss; the store after
+            # the recompile atomically replaces the damaged file.
+            self.stats.corrupt += 1
+            get_registry().counter("cache.corrupt").inc()
+            return None
+        if meta.pop("cache_schema", None) != CACHE_SCHEMA or meta.pop(
+            "cache_key", None
+        ) != key:
+            self.stats.corrupt += 1
+            get_registry().counter("cache.corrupt").inc()
+            return None
+        return CacheRecord(arrays=arrays, meta=meta)
+
+    # -- public API ----------------------------------------------------------
+
+    def lookup(self, key: str) -> CacheRecord | None:
+        """The record stored under *key*, or ``None`` (counted as a miss)."""
+        tracer = get_tracer()
+        registry = get_registry()
+        with tracer.span(
+            "cache.lookup", category="cache", key=key[:12]
+        ) as span:
+            record = self._memory.get(key)
+            if record is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                tier = "memory"
+            else:
+                record = self._disk_get(key)
+                if record is not None:
+                    self._memory_put(key, record)
+                    self.stats.disk_hits += 1
+                    tier = "disk"
+                else:
+                    self.stats.misses += 1
+                    tier = "miss"
+            if tracer.enabled:
+                span.attributes["result"] = tier
+            if registry.enabled:
+                if tier == "miss":
+                    registry.counter("cache.misses").inc()
+                else:
+                    registry.counter("cache.hits").inc()
+        return record
+
+    def store(self, key: str, record: CacheRecord) -> None:
+        """Insert *record* under *key* in both tiers."""
+        tracer = get_tracer()
+        with tracer.span("cache.store", category="cache", key=key[:12]):
+            self._memory_put(key, record)
+            if self.path is not None:
+                meta = {
+                    "cache_schema": CACHE_SCHEMA,
+                    "cache_key": key,
+                    **record.meta,
+                }
+                save_checkpoint(self._disk_path(key), record.arrays, meta)
+            self.stats.stores += 1
+            get_registry().counter("cache.stores").inc()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path is not None else "memory-only"
+        s = self.stats
+        return (
+            f"CompilationCache({where}: {len(self._memory)} in memory, "
+            f"{s.hits} hits / {s.misses} misses)"
+        )
+
+
+class NullCache(CompilationCache):
+    """Disabled cache: lookups always miss silently, stores are dropped.
+
+    Mirrors ``NullTracer``/``NullRegistry``: callers guard on
+    :attr:`enabled`, so the uncached path records no counters at all.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(path=None, memory_entries=0)
+
+    def lookup(self, key: str) -> CacheRecord | None:  # type: ignore[override]
+        return None
+
+    def store(self, key: str, record: CacheRecord) -> None:  # type: ignore[override]
+        return None
+
+
+#: The module-level singleton installed when caching is off.
+NULL_CACHE = NullCache()
+
+_current: CompilationCache = NULL_CACHE
+
+
+def get_cache() -> CompilationCache:
+    """The currently installed cache (the null cache by default)."""
+    return _current
+
+
+def set_cache(cache: CompilationCache | None) -> CompilationCache:
+    """Install *cache* globally (``None`` restores the null cache)."""
+    global _current
+    previous = _current
+    _current = cache if cache is not None else NULL_CACHE
+    return previous
+
+
+@contextmanager
+def caching(
+    cache: CompilationCache | None = None,
+    path: str | Path | None = None,
+) -> Iterator[CompilationCache]:
+    """Install a compilation cache for the duration of a ``with`` block.
+
+    Creates a fresh (memory-only, unless *path* is given)
+    :class:`CompilationCache` when none is supplied; restores the
+    previously installed cache on exit, mirroring
+    :func:`repro.obs.tracing` / :func:`repro.obs.collecting`.
+    """
+    cache = cache if cache is not None else CompilationCache(path=path)
+    previous = set_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_cache(previous)

@@ -5,16 +5,22 @@ quantities the paper plots: number of edges, variables, vertices, compute
 sets, and the remaining free memory.  Observation 3 — memory grows faster
 than the raw tensor footprint, driven by graph structure — falls out of the
 compiler's accounting.
+
+Each size compiles through :func:`~repro.ipu.compiler.cached_compile`
+keyed on the matmul's provenance, so a warm compilation cache skips graph
+construction entirely; ``run(jobs=N)`` fans the sizes out over the
+parallel runner (:mod:`repro.bench.parallel`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.bench.parallel import run_grid
 from repro.bench.reporting import Table
-from repro.ipu.compiler import GraphProfile, compile_graph
+from repro.ipu.compiler import GraphProfile, cached_compile
 from repro.ipu.machine import GC200, IPUSpec
-from repro.ipu.poplin import build_matmul_graph
+from repro.ipu.poplin import build_matmul_graph, matmul_provenance
 from repro.utils import MiB
 
 __all__ = ["Fig5Row", "default_sizes", "run", "render"]
@@ -40,19 +46,29 @@ class Fig5Row:
         return self.profile.total_bytes / self.profile.variable_bytes
 
 
+def _profile_one(config: tuple[IPUSpec, int], seed_seq) -> Fig5Row:
+    """Grid worker: compile one size's matmul (cache-aware) and profile."""
+    spec, n = config
+    compiled = cached_compile(
+        matmul_provenance(n, n, n),
+        lambda: build_matmul_graph(spec, n, n, n)[0],
+        spec,
+        check_fit=False,
+    )
+    return Fig5Row(n=n, profile=compiled.profile())
+
+
 def run(
-    spec: IPUSpec = GC200, sizes: list[int] | None = None
+    spec: IPUSpec = GC200,
+    sizes: list[int] | None = None,
+    jobs: int = 1,
 ) -> list[Fig5Row]:
     """Compile a poplin matmul per size and collect profiles."""
-    rows = []
-    for n in sizes or default_sizes():
-        graph, _ = build_matmul_graph(spec, n, n, n)
-        compiled = compile_graph(graph, spec, check_fit=False)
-        rows.append(Fig5Row(n=n, profile=compiled.profile()))
-    return rows
+    configs = [(spec, n) for n in (sizes or default_sizes())]
+    return run_grid(_profile_one, configs, jobs=jobs)
 
 
-def render(spec: IPUSpec = GC200) -> str:
+def render(spec: IPUSpec = GC200, jobs: int = 1) -> str:
     """Text rendering of the Fig 5 series."""
     table = Table(
         title=(
@@ -70,7 +86,7 @@ def render(spec: IPUSpec = GC200) -> str:
             "overhead x",
         ],
     )
-    for row in run(spec):
+    for row in run(spec, jobs=jobs):
         p = row.profile
         table.add_row(
             row.n,

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import nn
+from repro.bench.parallel import run_grid
 from repro.bench.reporting import Table
 from repro.gpu.machine import A30, GPUSpec
 from repro.gpu.torchsim import GPUModule
@@ -104,18 +105,28 @@ def layer_times(
     )
 
 
+def _layer_times_worker(
+    config: tuple[str, int, GPUSpec, IPUSpec], seed_seq
+) -> Fig6Row:
+    """Grid worker: one (device panel, size) cell."""
+    device, n, gpu, ipu = config
+    return layer_times(device, n, gpu=gpu, ipu=ipu)
+
+
 def run(
     sizes: list[int] | None = None,
     devices: tuple[str, ...] = ("gpu_notc", "gpu_tc", "ipu"),
     gpu: GPUSpec = A30,
     ipu: IPUSpec = GC200,
+    jobs: int = 1,
 ) -> list[Fig6Row]:
     """All three panels across the size sweep."""
-    rows = []
-    for device in devices:
-        for n in sizes or default_sizes():
-            rows.append(layer_times(device, n, gpu=gpu, ipu=ipu))
-    return rows
+    configs = [
+        (device, n, gpu, ipu)
+        for device in devices
+        for n in sizes or default_sizes()
+    ]
+    return run_grid(_layer_times_worker, configs, jobs=jobs)
 
 
 @dataclass(frozen=True)
@@ -246,9 +257,9 @@ def render_memory_limits(limits: list[MemoryLimitRow] | None = None) -> str:
     return table.render()
 
 
-def render(sizes: list[int] | None = None) -> str:
+def render(sizes: list[int] | None = None, jobs: int = 1) -> str:
     """Text rendering of the three Fig 6 panels."""
-    rows = run(sizes)
+    rows = run(sizes, jobs=jobs)
     out = []
     for device, label in [
         ("gpu_notc", "GPU, tensor cores OFF"),

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import nn
+from repro.bench.parallel import run_grid
 from repro.bench.reporting import Table
 from repro.experiments.fig6 import FIG6_PIXELFLY
 from repro.ipu.compiler import GraphProfile
@@ -36,26 +37,44 @@ class Fig7Row:
     profile: GraphProfile
 
 
+def _profile_size(config: tuple[IPUSpec, int], seed_seq) -> list[Fig7Row]:
+    """Grid worker: profile the three layer graphs at one size."""
+    spec, n = config
+    layers = {
+        "linear": nn.Linear(n, n, bias=False, seed=0),
+        "butterfly": nn.ButterflyLinear(n, n, bias=False, seed=0),
+        "pixelfly": nn.PixelflyLinear(
+            n, bias=False, seed=0, **FIG6_PIXELFLY
+        ),
+    }
+    return [
+        Fig7Row(
+            layer=name,
+            n=n,
+            profile=IPUModule(
+                layer, in_features=n, batch=n, spec=spec
+            ).profile(),
+        )
+        for name, layer in layers.items()
+    ]
+
+
 def run(
-    spec: IPUSpec = GC200, sizes: list[int] | None = None
+    spec: IPUSpec = GC200,
+    sizes: list[int] | None = None,
+    jobs: int = 1,
 ) -> list[Fig7Row]:
     """Compile the three layer graphs per size and profile them."""
-    rows = []
-    for n in sizes or default_sizes():
-        layers = {
-            "linear": nn.Linear(n, n, bias=False, seed=0),
-            "butterfly": nn.ButterflyLinear(n, n, bias=False, seed=0),
-            "pixelfly": nn.PixelflyLinear(
-                n, bias=False, seed=0, **FIG6_PIXELFLY
-            ),
-        }
-        for name, layer in layers.items():
-            module = IPUModule(layer, in_features=n, batch=n, spec=spec)
-            rows.append(Fig7Row(layer=name, n=n, profile=module.profile()))
-    return rows
+    configs = [(spec, n) for n in (sizes or default_sizes())]
+    per_size = run_grid(_profile_size, configs, jobs=jobs)
+    return [row for rows in per_size for row in rows]
 
 
-def render(spec: IPUSpec = GC200, sizes: list[int] | None = None) -> str:
+def render(
+    spec: IPUSpec = GC200,
+    sizes: list[int] | None = None,
+    jobs: int = 1,
+) -> str:
     """Text rendering of the Fig 7 sweep."""
     table = Table(
         title=(
@@ -73,7 +92,7 @@ def render(spec: IPUSpec = GC200, sizes: list[int] | None = None) -> str:
             "free (MiB)",
         ],
     )
-    for row in run(spec, sizes):
+    for row in run(spec, sizes, jobs=jobs):
         p = row.profile
         table.add_row(
             row.layer,

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.flops import dense_equivalent, gflops
+from repro.bench.parallel import run_grid
 from repro.bench.reporting import Table
 from repro.gpu.machine import A30, GPUSpec
 from repro.gpu.simulator import GPUDevice
@@ -55,68 +56,74 @@ def _best(values: list[float]) -> float:
     return max(values) if values else 0.0
 
 
+def _dense_columns_for_size(
+    config: tuple[GPUSpec, IPUSpec, int], seed_seq
+) -> dict[str, float]:
+    """Grid worker: every dense Table 2 column at one square size."""
+    gpu, ipu, n = config
+    device = GPUDevice(gpu)
+    flops = 2 * n**3
+    # The executor needs the concrete graph, so the blocked column builds
+    # it even on a cache hit — compile_graph still skips the memory
+    # accounting then.
+    blocked = build_blocked_matmul_graph(ipu, n, n, n, block=128)
+    compiled = compile_graph(blocked, ipu, check_fit=False)
+    # Insertion order is the table's row order — keep the paper's.
+    return {
+        "GPU naive": device.matmul_cost(n, n, n, "naive").gflops,
+        "GPU shmem": device.matmul_cost(n, n, n, "shmem").gflops,
+        "GPU cublas (FP32)": device.matmul_cost(
+            n, n, n, "cublas_fp32"
+        ).gflops,
+        "GPU cublas (TF32)": device.matmul_cost(
+            n, n, n, "cublas_tf32"
+        ).gflops,
+        "IPU naive": gflops(
+            flops,
+            matmul_report(
+                ipu, n, n, n, codelet="MatMulPartialScalar",
+                check_fit=False,
+            ).total_s,
+        ),
+        "IPU blocked": gflops(
+            flops, Executor(compiled).estimate().total_s
+        ),
+        "IPU poplin": gflops(
+            flops, matmul_report(ipu, n, n, n, check_fit=False).total_s
+        ),
+        "PyTorch (FP32)": device.matmul_cost(
+            n, n, n, "pytorch_fp32"
+        ).gflops,
+        "PyTorch (TF32)": device.matmul_cost(
+            n, n, n, "pytorch_tf32"
+        ).gflops,
+        "PopTorch": gflops(
+            flops, poptorch_matmul_report(ipu, n, n, n).total_s
+        ),
+    }
+
+
 def run(
     gpu: GPUSpec = A30,
     ipu: IPUSpec = GC200,
     sizes: list[int] | None = None,
     sparse_size: int = 2048,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Table2Result:
     """Evaluate every Table 2 column; returns best-over-sizes GFLOP/s."""
     sizes = sizes or default_sizes()
     device = GPUDevice(gpu)
 
-    dense: dict[str, list[float]] = {
-        name: []
-        for name in [
-            "GPU naive",
-            "GPU shmem",
-            "GPU cublas (FP32)",
-            "GPU cublas (TF32)",
-            "IPU naive",
-            "IPU blocked",
-            "IPU poplin",
-            "PyTorch (FP32)",
-            "PyTorch (TF32)",
-            "PopTorch",
-        ]
-    }
-    for n in sizes:
-        flops = 2 * n**3
-        dense["GPU naive"].append(device.matmul_cost(n, n, n, "naive").gflops)
-        dense["GPU shmem"].append(device.matmul_cost(n, n, n, "shmem").gflops)
-        dense["GPU cublas (FP32)"].append(
-            device.matmul_cost(n, n, n, "cublas_fp32").gflops
-        )
-        dense["GPU cublas (TF32)"].append(
-            device.matmul_cost(n, n, n, "cublas_tf32").gflops
-        )
-        dense["PyTorch (FP32)"].append(
-            device.matmul_cost(n, n, n, "pytorch_fp32").gflops
-        )
-        dense["PyTorch (TF32)"].append(
-            device.matmul_cost(n, n, n, "pytorch_tf32").gflops
-        )
-        dense["IPU poplin"].append(
-            gflops(flops, matmul_report(ipu, n, n, n, check_fit=False).total_s)
-        )
-        dense["IPU naive"].append(
-            gflops(
-                flops,
-                matmul_report(
-                    ipu, n, n, n, codelet="MatMulPartialScalar",
-                    check_fit=False,
-                ).total_s,
-            )
-        )
-        dense["PopTorch"].append(
-            gflops(flops, poptorch_matmul_report(ipu, n, n, n).total_s)
-        )
-        blocked = build_blocked_matmul_graph(ipu, n, n, n, block=128)
-        compiled = compile_graph(blocked, ipu, check_fit=False)
-        dense["IPU blocked"].append(
-            gflops(flops, Executor(compiled).estimate().total_s)
-        )
+    per_size = run_grid(
+        _dense_columns_for_size,
+        [(gpu, ipu, n) for n in sizes],
+        jobs=jobs,
+    )
+    dense: dict[str, list[float]] = {}
+    for columns in per_size:
+        for name, value in columns.items():
+            dense.setdefault(name, []).append(value)
 
     sparse: dict[str, float] = {}
     n = sparse_size
@@ -137,10 +144,13 @@ def run(
 
 
 def render(
-    gpu: GPUSpec = A30, ipu: IPUSpec = GC200, sizes: list[int] | None = None
+    gpu: GPUSpec = A30,
+    ipu: IPUSpec = GC200,
+    sizes: list[int] | None = None,
+    jobs: int = 1,
 ) -> str:
     """Text rendering of the Table 2 reproduction."""
-    result = run(gpu, ipu, sizes)
+    result = run(gpu, ipu, sizes, jobs=jobs)
     table = Table(
         title=(
             "Table 2: dense vs sparse matmul, GPU vs IPU (GFLOP/s; sparse "

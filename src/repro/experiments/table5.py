@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import nn
+from repro.bench.parallel import run_grid
 from repro.bench.reporting import Table
 from repro.datasets import load_cifar10
 from repro.experiments.config import TABLE3, Table3Hyperparameters
@@ -120,6 +121,18 @@ def evaluate_config(
     )
 
 
+def _evaluate_config_worker(config: tuple, seed_seq) -> SweepPoint:
+    """Grid worker: reload the dataset and train one configuration.
+
+    Each worker re-derives the synthetic dataset from ``(n_train,
+    n_test, seed)`` — a pure function of those arguments — instead of
+    pickling the arrays, so results match the serial path exactly.
+    """
+    bf, bs, r, hp, epochs, n_train, n_test, seed = config
+    train, test = load_cifar10(n_train=n_train, n_test=n_test, seed=seed)
+    return evaluate_config(bf, bs, r, train, test, hp=hp, epochs=epochs)
+
+
 def run(
     grid: list[tuple[int, int, int]] | None = None,
     hp: Table3Hyperparameters = TABLE3,
@@ -127,13 +140,24 @@ def run(
     n_train: int = 2000,
     n_test: int = 1000,
     seed: int = 0,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Evaluate the whole grid (short training budget per point)."""
-    train, test = load_cifar10(n_train=n_train, n_test=n_test, seed=seed)
-    return [
-        evaluate_config(bf, bs, r, train, test, hp=hp, epochs=epochs)
-        for bf, bs, r in (grid or default_grid())
+    grid = grid or default_grid()
+    if jobs == 1:
+        # Serial path loads the dataset once and shares it across points.
+        train, test = load_cifar10(
+            n_train=n_train, n_test=n_test, seed=seed
+        )
+        return [
+            evaluate_config(bf, bs, r, train, test, hp=hp, epochs=epochs)
+            for bf, bs, r in grid
+        ]
+    configs = [
+        (bf, bs, r, hp, epochs, n_train, n_test, seed)
+        for bf, bs, r in grid
     ]
+    return run_grid(_evaluate_config_worker, configs, jobs=jobs, seed=seed)
 
 
 def _attr(point: SweepPoint, name: str) -> float:
@@ -178,9 +202,9 @@ def summarize(points: list[SweepPoint]) -> list[SweepSummary]:
     return out
 
 
-def render(points: list[SweepPoint] | None = None) -> str:
+def render(points: list[SweepPoint] | None = None, jobs: int = 1) -> str:
     """Text rendering of the Table 5 reproduction."""
-    points = points if points is not None else run()
+    points = points if points is not None else run(jobs=jobs)
     summaries = summarize(points)
     table = Table(
         title=(

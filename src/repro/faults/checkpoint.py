@@ -19,6 +19,7 @@ This module deliberately imports nothing from ``repro.nn`` or
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import re
@@ -44,6 +45,10 @@ class CheckpointError(RuntimeError):
     """A checkpoint file is missing, corrupt, or incompatible."""
 
 
+#: Per-process suffix counter so concurrent saves never share a temp file.
+_tmp_counter = itertools.count()
+
+
 def save_checkpoint(
     path: str | Path, arrays: dict[str, np.ndarray], meta: dict
 ) -> Path:
@@ -51,6 +56,10 @@ def save_checkpoint(
 
     The temporary file lives in the destination directory so the final
     :func:`os.replace` is a same-filesystem rename (atomic on POSIX).
+    Its name is unique per (process, call) — ``<name>.<pid>.<seq>.tmp``
+    — so two processes writing the same destination (e.g. a shared
+    compilation-cache directory) never interleave partial writes: each
+    serialises its own temp file and the last rename wins whole.
     """
     path = Path(path)
     if _META_KEY in arrays:
@@ -60,7 +69,9 @@ def save_checkpoint(
         json.dumps({"format_version": FORMAT_VERSION, **meta})
     )
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+    )
     try:
         with open(tmp, "wb") as fh:
             np.savez(fh, **payload)

@@ -19,11 +19,21 @@ in Fig 6.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro.cache import (
+    NULL_CACHE,
+    CacheRecord,
+    CompilationCache,
+    canonical_key,
+    dataclass_key,
+    get_cache,
+)
 from repro.ipu.graph import Graph
 from repro.ipu.machine import IPUSpec
 from repro.obs import get_registry, get_tracer
@@ -35,8 +45,12 @@ __all__ = [
     "MemoryBreakdown",
     "MemoryReport",
     "GraphProfile",
+    "GraphSummary",
     "CompiledGraph",
     "compile_graph",
+    "cached_compile",
+    "compile_cache_key",
+    "graph_fingerprint",
 ]
 
 
@@ -140,6 +154,30 @@ class GraphProfile:
     fits: bool
 
 
+@dataclass(frozen=True)
+class GraphSummary:
+    """Structural statistics standing in for a :class:`Graph`.
+
+    A warm :func:`cached_compile` hit skips graph *construction*
+    entirely, so there is no ``Graph`` object to attach — the summary
+    (persisted in the cache record) carries exactly the fields
+    :meth:`CompiledGraph.profile` needs.  Anything that must execute the
+    program (:class:`~repro.ipu.executor.Executor`) needs a real graph;
+    use :func:`compile_graph` directly for that.
+    """
+
+    name: str
+    n_tiles: int
+    n_variables: int
+    n_vertices: int
+    n_edges: int
+    n_compute_sets: int
+    total_variable_bytes: int
+
+    def variable_bytes(self) -> int:
+        return self.total_variable_bytes
+
+
 @dataclass
 class CompiledGraph:
     """A graph plus its compilation artefacts.
@@ -149,9 +187,13 @@ class CompiledGraph:
     the graph is folded onto a surviving physical tile and ``tile_map``
     holds that logical -> physical mapping (``None`` for a healthy
     compile, where the mapping is the identity).
+
+    ``graph`` is usually the real :class:`Graph`; a warm
+    :func:`cached_compile` hit substitutes a :class:`GraphSummary`
+    (enough for :meth:`profile`, not for execution).
     """
 
-    graph: Graph
+    graph: Graph | GraphSummary
     spec: IPUSpec
     memory: MemoryReport
     per_cs_tiles: list[set[int]] = field(default_factory=list)
@@ -200,11 +242,193 @@ def _tile_fold_map(
     return surviving[np.arange(n_tiles) % len(surviving)]
 
 
+# -- content addressing --------------------------------------------------------
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Structural hash of everything the memory accounting reads.
+
+    Covers tile count, every variable's layout, every vertex (codelet,
+    tile, edge endpoints/sizes/locality, params), compute-set membership
+    and the program — but *not* the graph's display name, so two
+    identically-built graphs hash equal regardless of labelling.  The
+    full walk costs O(graph); builders that can name their output
+    cheaply attach ``graph.provenance`` instead (see
+    :func:`compile_cache_key`).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"tiles|{graph.n_tiles}\n".encode())
+    for name in sorted(graph.variables):
+        v = graph.variables[name]
+        h.update(
+            f"V|{name}|{v.shape}|{v.element_bytes}"
+            f"|{v.home_tile}|{v.tile_span}\n".encode()
+        )
+    for vertex in graph.vertices:
+        parts = [f"X|{vertex.codelet}|{vertex.tile}"]
+        for edge in vertex.inputs:
+            parts.append(f"i|{edge.var}|{edge.n_elements}|{int(edge.local)}")
+        for edge in vertex.outputs:
+            parts.append(f"o|{edge.var}|{edge.n_elements}|{int(edge.local)}")
+        parts.append(f"p|{sorted(vertex.params.items())}")
+        h.update(("|".join(parts) + "\n").encode())
+    for cs in graph.compute_sets:
+        ids = ",".join(str(vid) for vid in cs.vertex_ids)
+        h.update(f"C|{cs.name}|{ids}\n".encode())
+    for step in graph.program:
+        h.update(f"P|{step.kind}|{step.ref}\n".encode())
+    return h.hexdigest()
+
+
+def _identity_parts(graph: Graph) -> tuple:
+    provenance = getattr(graph, "provenance", None)
+    if provenance is not None:
+        return ("provenance",) + tuple(provenance)
+    return ("fingerprint", graph_fingerprint(graph))
+
+
+def _key_from_parts(
+    identity: tuple, spec: IPUSpec, excluded: frozenset[int]
+) -> str:
+    return canonical_key(
+        identity,
+        dataclass_key(spec),
+        ("exclude",) + tuple(sorted(excluded)),
+    )
+
+
+def compile_cache_key(
+    graph: Graph,
+    spec: IPUSpec,
+    exclude_tiles: "frozenset[int] | set[int] | None" = None,
+) -> str:
+    """The content-addressed cache key of one ``compile_graph`` call.
+
+    Combines the graph's identity — its ``provenance`` tuple when a
+    builder attached one, else the full structural
+    :func:`graph_fingerprint` — with **every** :class:`IPUSpec` field
+    and the sorted excluded-tile set.  ``check_fit`` is deliberately not
+    part of the key: it changes only whether an OOM report raises, never
+    the computed artefacts.
+    """
+    excluded = frozenset(int(t) for t in (exclude_tiles or ()))
+    return _key_from_parts(_identity_parts(graph), spec, excluded)
+
+
+def _record_from(compiled: CompiledGraph) -> CacheRecord:
+    """Encode a compilation's artefacts as a cacheable record."""
+    g = compiled.graph
+    b = compiled.memory.breakdown
+    cs_lens = np.array(
+        [len(tiles) for tiles in compiled.per_cs_tiles], dtype=np.int64
+    )
+    cs_tiles = np.array(
+        [t for tiles in compiled.per_cs_tiles for t in sorted(tiles)],
+        dtype=np.int64,
+    )
+    arrays = {
+        "per_tile_bytes": np.asarray(
+            compiled.memory.per_tile_bytes, dtype=np.float64
+        ),
+        "breakdown": np.array(
+            [
+                b.variables,
+                b.vertex_state,
+                b.edge_code,
+                b.control_code,
+                b.codelet_code,
+                b.exchange_buffers,
+            ],
+            dtype=np.float64,
+        ),
+        "cs_lens": cs_lens,
+        "cs_tiles": cs_tiles,
+        "excluded": np.array(
+            sorted(compiled.excluded_tiles), dtype=np.int64
+        ),
+    }
+    if compiled.tile_map is not None:
+        arrays["tile_map"] = np.asarray(compiled.tile_map, dtype=np.int64)
+    meta = {
+        "graph": {
+            "name": g.name,
+            "n_tiles": int(g.n_tiles),
+            "n_variables": int(g.n_variables),
+            "n_vertices": int(g.n_vertices),
+            "n_edges": int(g.n_edges),
+            "n_compute_sets": int(g.n_compute_sets),
+            "variable_bytes": int(g.variable_bytes()),
+        },
+        "spec": compiled.spec.name,
+    }
+    return CacheRecord(arrays=arrays, meta=meta)
+
+
+def _compiled_from_record(
+    record: CacheRecord, graph: Graph | None, spec: IPUSpec
+) -> CompiledGraph:
+    """Decode a cache record back into a :class:`CompiledGraph`.
+
+    *graph* is the caller's real graph when one exists (the
+    ``compile_graph`` path); ``None`` substitutes a
+    :class:`GraphSummary` from the record (the warm
+    :func:`cached_compile` path, where no graph was ever built).
+    """
+    arrays = record.arrays
+    breakdown = MemoryBreakdown(*(float(x) for x in arrays["breakdown"]))
+    memory = MemoryReport(
+        spec=spec,
+        per_tile_bytes=arrays["per_tile_bytes"],
+        breakdown=breakdown,
+    )
+    per_cs_tiles: list[set[int]] = []
+    offset = 0
+    flat = arrays["cs_tiles"]
+    for length in arrays["cs_lens"]:
+        per_cs_tiles.append(
+            {int(t) for t in flat[offset : offset + int(length)]}
+        )
+        offset += int(length)
+    tile_map = arrays.get("tile_map")
+    if graph is None:
+        info = record.meta["graph"]
+        graph = GraphSummary(
+            name=info["name"],
+            n_tiles=int(info["n_tiles"]),
+            n_variables=int(info["n_variables"]),
+            n_vertices=int(info["n_vertices"]),
+            n_edges=int(info["n_edges"]),
+            n_compute_sets=int(info["n_compute_sets"]),
+            total_variable_bytes=int(info["variable_bytes"]),
+        )
+    return CompiledGraph(
+        graph=graph,
+        spec=spec,
+        memory=memory,
+        per_cs_tiles=per_cs_tiles,
+        excluded_tiles=frozenset(int(t) for t in arrays["excluded"]),
+        tile_map=tile_map if tile_map is not None else None,
+    )
+
+
+def _raise_oom(
+    name: str, report: MemoryReport, excluded: frozenset[int]
+) -> None:
+    bad = report.over_capacity_tiles()
+    degraded = f" with {len(excluded)} tiles excluded" if excluded else ""
+    raise IPUOutOfMemoryError(
+        f"graph {name!r} exceeds tile memory on {len(bad)} tiles"
+        f"{degraded} (peak {format_bytes(report.peak_tile_bytes)} vs "
+        f"usable {format_bytes(report.spec.usable_tile_memory)})"
+    )
+
+
 def compile_graph(
     graph: Graph,
     spec: IPUSpec,
     check_fit: bool = True,
     exclude_tiles: "frozenset[int] | set[int] | None" = None,
+    cache: CompilationCache | None = None,
 ) -> CompiledGraph:
     """Account memory for *graph* on *spec*; optionally raise on OOM.
 
@@ -216,6 +440,13 @@ def compile_graph(
     dead-tile-tolerance sweep quantifies that compressed (butterfly /
     pixelfly) models survive far more failed tiles than the dense
     baseline.
+
+    When a :class:`~repro.cache.CompilationCache` is installed (or
+    passed via *cache*), the call is content-addressed: a hit skips the
+    accounting entirely and returns a ``CompiledGraph`` whose
+    :class:`MemoryReport` is byte-identical to a cold compile's.
+    ``check_fit`` is re-applied to cached results, so an over-capacity
+    graph raises identically hot or cold.
     """
     if graph.n_tiles > spec.n_tiles:
         raise ValueError(
@@ -231,6 +462,16 @@ def compile_graph(
         raise ValueError(
             f"cannot exclude all {spec.n_tiles} tiles of {spec.name}"
         )
+    cache = cache if cache is not None else get_cache()
+    key: str | None = None
+    if cache.enabled:
+        key = _key_from_parts(_identity_parts(graph), spec, excluded)
+        record = cache.lookup(key)
+        if record is not None:
+            compiled = _compiled_from_record(record, graph, spec)
+            if check_fit and not compiled.memory.fits:
+                _raise_oom(graph.name, compiled.memory, excluded)
+            return compiled
     tracer = get_tracer()
     with tracer.span(
         "compile_graph",
@@ -354,17 +595,7 @@ def compile_graph(
             registry.histogram(
                 "compile.tile_bytes", edges=DEFAULT_BYTES_EDGES, graph=name
             ).observe_many(per_tile)
-    if check_fit and not report.fits:
-        bad = report.over_capacity_tiles()
-        degraded = (
-            f" with {len(excluded)} tiles excluded" if excluded else ""
-        )
-        raise IPUOutOfMemoryError(
-            f"graph {graph.name!r} exceeds tile memory on {len(bad)} tiles"
-            f"{degraded} (peak {format_bytes(report.peak_tile_bytes)} vs "
-            f"usable {format_bytes(spec.usable_tile_memory)})"
-        )
-    return CompiledGraph(
+    compiled = CompiledGraph(
         graph=graph,
         spec=spec,
         memory=report,
@@ -372,3 +603,68 @@ def compile_graph(
         excluded_tiles=excluded,
         tile_map=tile_map,
     )
+    if cache.enabled and key is not None:
+        # Unfitting graphs are cached too: the OOM outcome is a pure
+        # function of the report, and is re-raised on every hit below.
+        cache.store(key, _record_from(compiled))
+    if check_fit and not report.fits:
+        _raise_oom(graph.name, report, excluded)
+    return compiled
+
+
+def cached_compile(
+    provenance: tuple,
+    build: Callable[[], Graph],
+    spec: IPUSpec,
+    check_fit: bool = True,
+    exclude_tiles: "frozenset[int] | set[int] | None" = None,
+    cache: CompilationCache | None = None,
+) -> CompiledGraph:
+    """Compile-by-provenance: skip graph *construction* on a warm hit.
+
+    :func:`compile_graph` can only be reached with a built graph, so a
+    hit there still pays the (often dominant) cost of building it.
+    ``cached_compile`` keys on *provenance* — a canonical description of
+    what *build* would construct, e.g.
+    ``("poplin.matmul", m, n, k, codelet, host_io)`` — and calls *build*
+    only on a miss.  A hit returns a :class:`CompiledGraph` carrying a
+    :class:`GraphSummary` in place of the graph: sufficient for
+    :meth:`CompiledGraph.profile` and memory queries, not for execution.
+
+    The provenance tuple is also attached to the built graph, so a
+    plain ``compile_graph`` of the same construction shares the key.
+    """
+    excluded = frozenset(int(t) for t in (exclude_tiles or ()))
+    provenance = tuple(provenance)
+    cache = cache if cache is not None else get_cache()
+    if cache.enabled:
+        key = _key_from_parts(
+            ("provenance",) + provenance, spec, excluded
+        )
+        record = cache.lookup(key)
+        if record is not None:
+            compiled = _compiled_from_record(record, None, spec)
+            if check_fit and not compiled.memory.fits:
+                _raise_oom(compiled.graph.name, compiled.memory, excluded)
+            return compiled
+    graph = build()
+    graph.provenance = provenance
+    if not cache.enabled:
+        return compile_graph(
+            graph, spec, check_fit=check_fit, exclude_tiles=excluded
+        )
+    # The lookup above already counted this key's miss; compile uncached
+    # and store under the same key so hot and cold stats stay exact.
+    # Fit checking happens after the store: OOM outcomes are cached and
+    # re-raised on hits just like compile_graph's own cached path.
+    compiled = compile_graph(
+        graph,
+        spec,
+        check_fit=False,
+        exclude_tiles=excluded,
+        cache=NULL_CACHE,
+    )
+    cache.store(key, _record_from(compiled))
+    if check_fit and not compiled.memory.fits:
+        _raise_oom(graph.name, compiled.memory, excluded)
+    return compiled

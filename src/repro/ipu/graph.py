@@ -143,6 +143,13 @@ class Graph:
         self.vertices: list[Vertex] = []
         self.compute_sets: list[ComputeSet] = []
         self.program: list[ProgramStep] = []
+        #: Optional canonical construction identity, set by builders that
+        #: can describe their output cheaply (e.g. ``("poplin.matmul",
+        #: m, n, k, codelet, host_io)``).  The compilation cache keys on
+        #: it when present, sparing the full structural fingerprint walk;
+        #: builders must only set it when the tuple determines the graph
+        #: completely (given the spec).
+        self.provenance: tuple | None = None
 
     # -- construction --------------------------------------------------------
 

@@ -34,6 +34,7 @@ __all__ = [
     "emit_matmul",
     "build_matmul_graph",
     "build_blocked_matmul_graph",
+    "matmul_provenance",
     "matmul_report",
     "poptorch_matmul_report",
 ]
@@ -283,13 +284,38 @@ def build_matmul_graph(
     if host_io:
         graph.add_host_write("A")
         graph.add_host_write("B")
+    explicit_plan = plan is not None
     plan = emit_matmul(
         graph, spec, "A", "B", "C", m, n, k, codelet=codelet, plan=plan,
         name=name,
     )
     if host_io:
         graph.add_host_read("C")
+    if not explicit_plan:
+        # With the plan chosen by choose_grid the graph is a pure
+        # function of (dims, codelet, host_io) given the spec, so the
+        # compilation cache can key on this tuple instead of walking the
+        # whole structure.  An explicit plan falls back to fingerprinting.
+        graph.provenance = matmul_provenance(
+            m, n, k, codelet=codelet, host_io=host_io
+        )
     return graph, plan
+
+
+def matmul_provenance(
+    m: int,
+    n: int,
+    k: int,
+    codelet: str = "MatMulPartialAMP",
+    host_io: bool = False,
+) -> tuple:
+    """The cache-key identity of a default-planned matmul graph.
+
+    Matches what :func:`build_matmul_graph` attaches, so
+    :func:`~repro.ipu.compiler.cached_compile` callers can look up a
+    graph without building it.
+    """
+    return ("poplin.matmul", m, n, k, codelet, bool(host_io))
 
 
 def build_blocked_matmul_graph(
@@ -453,6 +479,7 @@ def build_blocked_matmul_graph(
                     ],
                 ),
             )
+    graph.provenance = ("poplin.blocked_matmul", m, n, k, block)
     return graph
 
 

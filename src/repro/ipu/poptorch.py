@@ -58,7 +58,7 @@ from repro.nn.structured import (
 )
 from repro.utils import log2_int
 
-__all__ = ["IPUModule", "lower_model"]
+__all__ = ["IPUModule", "lower_model", "module_signature"]
 
 #: Minimum elements a generic vertex should process — below this the
 #: per-vertex overhead dominates, so the lowering uses fewer tiles.
@@ -479,6 +479,56 @@ def _lower_activation(
     return out
 
 
+def module_signature(module: Module) -> tuple | None:
+    """Canonical structural identity of *module* for the compilation cache.
+
+    Captures exactly the attributes the lowering reads — layer sizes,
+    block/rank/stride structure, bias presence — and nothing weight-valued,
+    so two models that lower to identical graphs share a signature.
+    Returns ``None`` for module types the walk does not recognise, which
+    makes the cache fall back to fingerprinting the built graph.
+    """
+    if isinstance(module, Sequential):
+        parts = []
+        for child in module:
+            sig = module_signature(child)
+            if sig is None:
+                return None
+            parts.append(sig)
+        return ("seq",) + tuple(parts)
+    if isinstance(module, LowRankLinear):
+        return (
+            "lowrank", module.in_features, module.out_features,
+            module.rank, module.bias is not None,
+        )
+    if isinstance(module, Linear):
+        return (
+            "linear", module.in_features, module.out_features,
+            module.bias is not None,
+        )
+    if isinstance(module, ButterflyLinear):
+        return (
+            "butterfly", module.in_features, module.out_features, module.n,
+            module.nblocks, module.increasing_stride,
+            module.bias is not None,
+        )
+    if isinstance(module, PixelflyLinear):
+        return (
+            "pixelfly", module.features, module.block_size,
+            module.butterfly_size, module.rank, module.pattern.n_blocks,
+            module.residual, module.u is not None, module.bias is not None,
+        )
+    if isinstance(module, FastfoodLinear):
+        return ("fastfood", module.features, module.bias is not None)
+    if isinstance(module, CirculantLinear):
+        return ("circulant", module.features, module.bias is not None)
+    if isinstance(module, (ReLU, Tanh, Sigmoid, BatchNorm1d, LayerNorm)):
+        return (type(module).__name__.lower(),)
+    if isinstance(module, (Identity, Flatten, Dropout)):
+        return ("noop",)
+    return None
+
+
 def lower_model(
     model: Module, spec: IPUSpec, batch: int, in_features: int,
     host_io: bool = False,
@@ -548,6 +598,11 @@ def lower_model(
     x, features = lower(model, x, features)
     if host_io:
         graph.add_host_read(x)
+    sig = module_signature(model)
+    if sig is not None:
+        graph.provenance = (
+            "poptorch.lower", sig, batch, in_features, bool(host_io)
+        )
     return graph, low.param_bytes
 
 

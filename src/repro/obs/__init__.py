@@ -62,6 +62,7 @@ from repro.obs.metrics import (
 from repro.obs.report import (
     ManifestError,
     build_manifest,
+    cache_section,
     read_manifest,
     render_report,
     smoke_manifest,
@@ -93,6 +94,7 @@ __all__ = [
     "set_registry",
     "ManifestError",
     "build_manifest",
+    "cache_section",
     "read_manifest",
     "render_report",
     "smoke_manifest",

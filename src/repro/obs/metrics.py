@@ -257,6 +257,43 @@ class MetricRegistry:
             entries.append(entry)
         return entries
 
+    def merge_snapshot(self, entries: list[dict]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        The parallel experiment runner (:mod:`repro.bench.parallel`) uses
+        this to aggregate worker-process metrics: counters add, gauges
+        take the incoming value (workers are merged in deterministic
+        config order, so "last write" is well-defined), histograms add
+        bucket counts — which requires identical edges, guaranteed for
+        snapshots produced by the same instrumented code.
+        """
+        if not self.enabled:
+            return
+        for entry in entries:
+            labels = dict(entry.get("labels", {}))
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(entry["name"], **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(entry["name"], **labels).set(entry["value"])
+            elif kind == "histogram":
+                edges = tuple(entry["edges"])
+                hist = self.histogram(entry["name"], edges=edges, **labels)
+                if hist.edges != edges:
+                    raise ValueError(
+                        f"histogram {entry['name']!r} edge mismatch: "
+                        f"cannot merge {edges} into {hist.edges}"
+                    )
+                for i, n in enumerate(entry["bucket_counts"]):
+                    hist.bucket_counts[i] += n
+                hist.count += entry["count"]
+                hist.sum += entry["sum"]
+                if entry["count"]:
+                    hist.min = min(hist.min, entry["min"])
+                    hist.max = max(hist.max, entry["max"])
+            else:
+                raise ValueError(f"unknown metric type {kind!r}")
+
 
 class NullRegistry(MetricRegistry):
     """Disabled registry: every instrument is the shared no-op.
@@ -279,6 +316,9 @@ class NullRegistry(MetricRegistry):
 
     def snapshot(self) -> list[dict]:
         return []
+
+    def merge_snapshot(self, entries: list[dict]) -> None:
+        return None
 
 
 #: The module-level singleton installed when metrics are off.

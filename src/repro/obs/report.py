@@ -34,6 +34,7 @@ __all__ = [
     "SCHEMA",
     "ManifestError",
     "build_manifest",
+    "cache_section",
     "memory_section",
     "liveness_section",
     "hot_spans",
@@ -95,6 +96,27 @@ def memory_section(memory) -> dict:
     }
 
 
+def cache_section(cache) -> dict:
+    """The compilation-cache section of a manifest.
+
+    *cache* is a :class:`~repro.cache.CompilationCache` (duck-typed to
+    avoid importing :mod:`repro.cache` here).  Deliberately excludes the
+    on-disk path and the memory/disk hit split: a ``--jobs 4`` run and a
+    ``--jobs 1`` run of the same grid then produce identical sections
+    (workers hit the shared disk tier where a serial run hits its own
+    memory tier), which the determinism test relies on.
+    """
+    stats = cache.stats
+    return {
+        "enabled": bool(cache.enabled),
+        "hits": int(stats.hits),
+        "misses": int(stats.misses),
+        "stores": int(stats.stores),
+        "evictions": int(stats.evictions),
+        "corrupt": int(stats.corrupt),
+    }
+
+
 def liveness_section(liveness) -> dict:
     """Summary of a :class:`~repro.ipu.liveness.LivenessReport`."""
     return {
@@ -134,6 +156,7 @@ def build_manifest(
     tracer: Tracer | None = None,
     memory=None,
     liveness=None,
+    cache=None,
     config: dict | None = None,
     seed: int | None = None,
     top_k: int = 20,
@@ -142,10 +165,15 @@ def build_manifest(
 
     *registry*/*tracer* default to the process-global instances; the
     memory and liveness sections appear only when their reports are
-    supplied.
+    supplied.  *cache* defaults to the process-global compilation cache
+    and contributes a ``cache`` section whenever that cache is enabled.
     """
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
+    if cache is None:
+        from repro.cache import get_cache
+
+        cache = get_cache()
     manifest = {
         "schema": SCHEMA,
         "name": name,
@@ -164,6 +192,8 @@ def build_manifest(
         manifest["memory"] = memory_section(memory)
     if liveness is not None:
         manifest["liveness"] = liveness_section(liveness)
+    if cache.enabled:
+        manifest["cache"] = cache_section(cache)
     return manifest
 
 
@@ -292,6 +322,16 @@ def render_report(manifest: dict) -> str:
             lines.append(f"    <= {edge_s:>10s}  {count:>6d} tiles")
         lines.append("")
 
+    cache = manifest.get("cache")
+    if cache is not None:
+        lines.append("compilation cache")
+        lines.append(
+            f"  hits: {cache['hits']}  misses: {cache['misses']}  "
+            f"stores: {cache['stores']}  evictions: {cache['evictions']}  "
+            f"corrupt: {cache['corrupt']}"
+        )
+        lines.append("")
+
     live = manifest.get("liveness")
     if live is not None:
         lines.append("liveness")
@@ -321,12 +361,16 @@ def render_report(manifest: dict) -> str:
 def smoke_manifest(size: int = 256, seed: int = 0) -> dict:
     """Run a small, fully deterministic workload and build its manifest.
 
-    Compiles a poplin matmul graph, runs liveness analysis and a BSP
-    time estimate under a fresh tracer + registry.  Every gateable
-    metric is simulated (cost-model) output, so two runs on any machine
-    produce identical ``metrics`` sections — this is what CI diffs
-    against ``benchmarks/baselines/smoke.json``.
+    Compiles a poplin matmul graph twice under a fresh in-memory
+    compilation cache (the second compile is a guaranteed cache hit, so
+    the manifest's ``cache`` section always shows ``hits >= 1`` — CI
+    asserts this), runs liveness analysis and a BSP time estimate under
+    a fresh tracer + registry.  Every gateable metric is simulated
+    (cost-model) output, so two runs on any machine produce identical
+    ``metrics`` sections — this is what CI diffs against
+    ``benchmarks/baselines/smoke.json``.
     """
+    from repro.cache import caching
     from repro.ipu.compiler import compile_graph
     from repro.ipu.executor import Executor
     from repro.ipu.liveness import compute_liveness
@@ -335,9 +379,10 @@ def smoke_manifest(size: int = 256, seed: int = 0) -> dict:
     from repro.obs.metrics import collecting
     from repro.obs.tracer import tracing
 
-    with tracing() as tracer, collecting() as registry:
+    with tracing() as tracer, collecting() as registry, caching() as cache:
         graph, _ = build_matmul_graph(GC200, size, size, size)
         compiled = compile_graph(graph, GC200, check_fit=False)
+        compile_graph(graph, GC200, check_fit=False)  # cache hit
         liveness = compute_liveness(graph)
         Executor(compiled).estimate()
     return build_manifest(
@@ -346,6 +391,7 @@ def smoke_manifest(size: int = 256, seed: int = 0) -> dict:
         tracer=tracer,
         memory=compiled.memory,
         liveness=liveness,
+        cache=cache,
         config={"size": size, "spec": GC200.name},
         seed=seed,
     )

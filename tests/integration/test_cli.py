@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.__main__ import ARTEFACTS, SLOW, main
+from repro.__main__ import ARTEFACTS, SLOW, RunOptions, main
 
 
 class TestCLI:
@@ -27,10 +27,36 @@ class TestCLI:
             main(["fig99"])
 
     def test_out_directory(self, tmp_path, capsys):
-        assert main(["table1", "--out", str(tmp_path)]) == 0
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["table1", "--out", str(tmp_path), "--cache-dir",
+             str(cache_dir)]
+        ) == 0
         written = tmp_path / "table1.txt"
         assert written.exists()
         assert "GC200" in written.read_text()
+
+    def test_out_writes_manifest(self, tmp_path, capsys):
+        from repro import obs
+
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["fig5", "--out", str(tmp_path), "--cache-dir",
+             str(cache_dir)]
+        ) == 0
+        manifest = obs.read_manifest(tmp_path / "fig5.json")
+        assert manifest["name"] == "fig5"
+        assert manifest["config"]["jobs"] == 1
+        cache = manifest["cache"]
+        assert cache["enabled"]
+        assert cache["misses"] + cache["hits"] > 0
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        from repro import obs
+
+        assert main(["fig5", "--out", str(tmp_path), "--no-cache"]) == 0
+        manifest = obs.read_manifest(tmp_path / "fig5.json")
+        assert "cache" not in manifest
 
     def test_all_excludes_slow_by_default(self):
         names = list(ARTEFACTS)
@@ -40,8 +66,9 @@ class TestCLI:
         assert "fig6" in fast
 
     def test_every_fast_renderer_returns_text(self):
-        for name, (fast, _, _) in ARTEFACTS.items():
-            if name in SLOW or name in ("table2", "fig4", "fig6", "fig7"):
+        opts = RunOptions()
+        for name, artefact in ARTEFACTS.items():
+            if artefact.slow or name in ("table2", "fig4", "fig6", "fig7"):
                 continue  # slow-ish; covered by their own benches
-            text = fast()
+            text = artefact.render(opts)
             assert isinstance(text, str) and len(text) > 50

@@ -1,0 +1,71 @@
+"""Satellite 4: ``--jobs 4`` produces the same results as ``--jobs 1``.
+
+A small fig6 grid is run serially and with four workers under full
+observability; the experiment rows and the ``repro.run/1`` manifests
+must match modulo wall-clock-dependent sections (host info, span
+timings, hot-span rankings).
+"""
+
+import copy
+
+from repro import obs
+from repro.cache import CompilationCache, caching
+from repro.experiments import fig6
+
+SIZES = [128, 256]
+DEVICES = ("ipu",)
+
+#: Manifest sections that legitimately differ between runs: host info
+#: carries a timestamp/pid, trace spans carry wall-clock durations, and
+#: hot_spans ranks by those durations.
+WALL_CLOCK_KEYS = ("host", "trace", "hot_spans")
+
+
+def _run_with(jobs: int, cache_dir):
+    with obs.tracing() as tracer, obs.collecting() as registry, caching(
+        CompilationCache(path=cache_dir)
+    ) as cache:
+        rows = fig6.run(SIZES, devices=DEVICES, jobs=jobs)
+        manifest = obs.build_manifest(
+            "fig6-determinism",
+            registry=registry,
+            tracer=tracer,
+            cache=cache,
+            config={"jobs": jobs},
+            seed=0,
+        )
+    return rows, manifest
+
+
+def _strip_wall_clock(manifest: dict) -> dict:
+    stripped = copy.deepcopy(manifest)
+    for key in WALL_CLOCK_KEYS:
+        stripped.pop(key, None)
+    stripped["config"].pop("jobs", None)
+    # Timing metrics (histograms over seconds) vary run to run; keep
+    # only the counters, which must match exactly.
+    stripped["metrics"] = sorted(
+        (
+            (entry["name"], tuple(sorted(entry["labels"].items())), entry["value"])
+            for entry in stripped["metrics"]
+            if entry["type"] == "counter"
+        ),
+    )
+    return stripped
+
+
+class TestParallelDeterminism:
+    def test_jobs4_matches_jobs1(self, tmp_path):
+        serial_rows, serial_manifest = _run_with(1, tmp_path / "serial")
+        parallel_rows, parallel_manifest = _run_with(4, tmp_path / "par")
+
+        assert serial_rows == parallel_rows
+        assert _strip_wall_clock(serial_manifest) == _strip_wall_clock(
+            parallel_manifest
+        )
+
+    def test_cache_sections_match(self, tmp_path):
+        _, serial_manifest = _run_with(1, tmp_path / "serial")
+        _, parallel_manifest = _run_with(4, tmp_path / "par")
+        assert serial_manifest["cache"] == parallel_manifest["cache"]
+        assert serial_manifest["cache"]["enabled"] is True

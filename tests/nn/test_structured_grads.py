@@ -1,127 +1,14 @@
-"""End-to-end gradient checks for structured layers (vs finite differences).
+"""End-to-end training sanity for structured layers.
 
-These validate the custom autograd Functions *through* the layer forward
-path — padding, bias, low-rank composition and all.
+Per-layer finite-difference gradient checks live in the parametrized
+grid at ``tests/properties/test_gradcheck.py``; this file keeps the
+one integration-level check that exercises the optimiser loop.
 """
 
-import numpy as np
 import pytest
 
 from repro import nn
 from repro.nn import Tensor
-from tests.conftest import numeric_gradient
-
-
-def loss_of(layer, x, seed_grad):
-    out = layer(Tensor(x))
-    return float((out.data * seed_grad).sum())
-
-
-def check_layer_param_grads(layer_factory, x, atol=2e-4):
-    """Compare every parameter's autograd gradient to finite differences."""
-    layer = layer_factory()
-    rng = np.random.default_rng(0)
-    out = layer(Tensor(x))
-    seed_grad = rng.standard_normal(out.shape)
-    out.backward(seed_grad)
-    analytic = {
-        name: p.grad.copy() for name, p in layer.named_parameters()
-    }
-
-    for name, param in layer.named_parameters():
-        base = param.data.copy()
-
-        def scalar(value, param=param, base=base):
-            param.data = value
-            result = loss_of(layer, x, seed_grad)
-            param.data = base
-            return result
-
-        numeric = numeric_gradient(scalar, base)
-        np.testing.assert_allclose(
-            analytic[name], numeric, atol=atol, rtol=1e-3,
-            err_msg=f"grad mismatch for {name}",
-        )
-
-
-def check_layer_input_grad(layer, x, atol=2e-4):
-    rng = np.random.default_rng(1)
-    t = Tensor(x, requires_grad=True)
-    out = layer(t)
-    seed_grad = rng.standard_normal(out.shape)
-    out.backward(seed_grad)
-    numeric = numeric_gradient(
-        lambda a: loss_of(layer, a, seed_grad), x
-    )
-    np.testing.assert_allclose(t.grad, numeric, atol=atol, rtol=1e-3)
-
-
-@pytest.fixture
-def x8(rng):
-    return rng.standard_normal((3, 8))
-
-
-class TestButterflyGrads:
-    def test_param_grads(self, x8):
-        check_layer_param_grads(lambda: nn.ButterflyLinear(8, 8, seed=0), x8)
-
-    def test_input_grad(self, x8):
-        check_layer_input_grad(nn.ButterflyLinear(8, 8, seed=0), x8)
-
-    def test_rectangular_grads(self, rng):
-        x = rng.standard_normal((2, 6))
-        check_layer_param_grads(lambda: nn.ButterflyLinear(6, 5, seed=1), x)
-
-    def test_rectangular_input_grad(self, rng):
-        x = rng.standard_normal((2, 6))
-        check_layer_input_grad(nn.ButterflyLinear(6, 5, seed=1), x)
-
-
-class TestPixelflyGrads:
-    def test_param_grads(self, rng):
-        x = rng.standard_normal((3, 16))
-        check_layer_param_grads(
-            lambda: nn.PixelflyLinear(16, block_size=4, rank=2, seed=0), x
-        )
-
-    def test_input_grad(self, rng):
-        x = rng.standard_normal((3, 16))
-        check_layer_input_grad(
-            nn.PixelflyLinear(16, block_size=4, rank=2, seed=0), x
-        )
-
-    def test_residual_input_grad(self, rng):
-        x = rng.standard_normal((2, 16))
-        check_layer_input_grad(
-            nn.PixelflyLinear(16, block_size=4, rank=1, residual=True, seed=2),
-            x,
-        )
-
-
-class TestFastfoodGrads:
-    def test_param_grads(self, x8):
-        check_layer_param_grads(lambda: nn.FastfoodLinear(8, seed=0), x8)
-
-    def test_input_grad(self, x8):
-        check_layer_input_grad(nn.FastfoodLinear(8, seed=0), x8)
-
-
-class TestCirculantGrads:
-    def test_param_grads(self, x8):
-        check_layer_param_grads(lambda: nn.CirculantLinear(8, seed=0), x8)
-
-    def test_input_grad(self, x8):
-        check_layer_input_grad(nn.CirculantLinear(8, seed=0), x8)
-
-
-class TestLowRankGrads:
-    def test_param_grads(self, x8):
-        check_layer_param_grads(
-            lambda: nn.LowRankLinear(8, 8, rank=2, seed=0), x8
-        )
-
-    def test_input_grad(self, x8):
-        check_layer_input_grad(nn.LowRankLinear(8, 8, rank=2, seed=0), x8)
 
 
 class TestTrainingStep:

@@ -1,0 +1,118 @@
+"""Property sweep: every structured layer equals its dense materialisation.
+
+For each of the six layer parameterisations (square butterfly,
+rectangular multi-block butterfly, pixelfly, fastfood, circulant,
+low-rank), hypothesis draws sizes/seeds/flags and asserts
+
+    layer(x)  ==  x @ layer.weight_dense().T  (+ bias)
+
+— the factored fast path and the materialised dense weight are the same
+linear map.  This is the algebraic contract everything downstream
+(compression ratios, IPU lowerings, Table 4 accuracy comparisons)
+silently assumes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+pow2 = st.sampled_from([4, 8, 16, 32])
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+booleans = st.booleans()
+batches = st.integers(min_value=1, max_value=5)
+
+
+def assert_matches_dense(layer, in_features: int, batch: int, seed: int):
+    """The shared oracle: forward == x @ W_dense.T (+ bias)."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((batch, in_features))
+    got = layer(Tensor(x)).data
+    expected = x @ layer.weight_dense().T
+    if layer.bias is not None:
+        expected = expected + layer.bias.data
+    np.testing.assert_allclose(got, expected, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pow2, booleans, seeds, batches)
+def test_butterfly_square(n, bias, seed, batch):
+    layer = nn.ButterflyLinear(n, n, bias=bias, seed=seed)
+    assert_matches_dense(layer, n, batch, seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pow2,
+    pow2,
+    st.integers(min_value=1, max_value=3),
+    booleans,
+    booleans,
+    seeds,
+)
+def test_butterfly_rectangular_multiblock(
+    n_in, n_out, nblocks, increasing, bias, seed
+):
+    layer = nn.ButterflyLinear(
+        n_in,
+        n_out,
+        bias=bias,
+        increasing_stride=increasing,
+        nblocks=nblocks,
+        seed=seed,
+    )
+    assert_matches_dense(layer, n_in, 3, seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from([16, 32, 64]),
+    st.sampled_from([4, 8]),
+    st.sampled_from([0, 1, 2]),
+    booleans,
+    booleans,
+    seeds,
+)
+def test_pixelfly(features, block_size, rank, residual, bias, seed):
+    layer = nn.PixelflyLinear(
+        features,
+        block_size=block_size,
+        butterfly_size=2,
+        rank=rank,
+        bias=bias,
+        residual=residual,
+        seed=seed,
+    )
+    assert_matches_dense(layer, features, 3, seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pow2, booleans, seeds, batches)
+def test_fastfood(n, bias, seed, batch):
+    layer = nn.FastfoodLinear(n, bias=bias, seed=seed)
+    assert_matches_dense(layer, n, batch, seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from([3, 4, 7, 8, 16, 30]), booleans, seeds, batches
+)
+def test_circulant(n, bias, seed, batch):
+    # Circulant has no power-of-two restriction — sweep odd sizes too.
+    layer = nn.CirculantLinear(n, bias=bias, seed=seed)
+    assert_matches_dense(layer, n, batch, seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=24),
+    st.integers(min_value=2, max_value=24),
+    st.integers(min_value=1, max_value=6),
+    booleans,
+    seeds,
+)
+def test_lowrank(n_in, n_out, rank, bias, seed):
+    layer = nn.LowRankLinear(n_in, n_out, rank=rank, bias=bias, seed=seed)
+    assert_matches_dense(layer, n_in, 3, seed)
