@@ -30,3 +30,40 @@ def test_fig5_structure_drives_memory(rows):
     assert big.n_vertices >= small.n_vertices
     assert big.n_edges >= small.n_edges
     assert big.total_bytes > small.total_bytes
+
+
+@pytest.fixture(scope="module")
+def planner_rows():
+    # Serial on purpose: the bench registry must observe the compile.*
+    # plan metrics, which a worker-process grid would swallow.
+    return fig5.planner_run(jobs=1)
+
+
+def test_fig5_planner_headroom(planner_rows, save_artefact):
+    # The planner's reason to exist: at least one depth overflows tile
+    # memory without buffer reuse but compiles (and fits) planned.
+    rescued = [
+        r
+        for r in planner_rows
+        if r.fits_planned and not r.fits_no_reuse
+    ]
+    assert rescued, "no depth was rescued by the memory planner"
+    for row in planner_rows:
+        assert (
+            row.planned.peak_tile_bytes
+            <= row.unplanned.peak_tile_bytes
+        )
+        assert row.reclaimed_fraction > 0.0
+    # Reclaimed fraction grows with depth (more dead activations).
+    fractions = [r.reclaimed_fraction for r in planner_rows]
+    assert fractions[-1] > fractions[0]
+    save_artefact(
+        "fig5_planner",
+        fig5.render_planner(rows=planner_rows),
+    )
+
+
+def test_fig5_planner_numerics_bit_identical(planner_rows):
+    # Companion check at an executable size: the slot-aliased executor
+    # reproduces the unplanned outputs exactly.
+    assert fig5.verify_planner_numerics()

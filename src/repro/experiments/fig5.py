@@ -10,20 +10,42 @@ Each size compiles through :func:`~repro.ipu.compiler.cached_compile`
 keyed on the matmul's provenance, so a warm compilation cache skips graph
 construction entirely; ``run(jobs=N)`` fans the sizes out over the
 parallel runner (:mod:`repro.bench.parallel`).
+
+The **planner headroom sweep** (``planner_run`` / ``render_planner``)
+extends the figure with the liveness-driven memory planner
+(:mod:`repro.ipu.memplan`): deep MLP forward graphs are compiled with
+and without ``plan_memory=True``, showing the per-depth "planned peak"
+series, the reclaimed fraction, and — the point of the exercise — depths
+that fail ``check_fit`` without the planner but compile with it.
+:func:`verify_planner_numerics` executes a small configuration both ways
+and confirms the outputs are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.bench.parallel import run_grid
 from repro.bench.reporting import Table
-from repro.ipu.compiler import GraphProfile, cached_compile
+from repro.ipu.compiler import GraphProfile, cached_compile, compile_graph
+from repro.ipu.executor import Executor
 from repro.ipu.machine import GC200, IPUSpec
 from repro.ipu.poplin import build_matmul_graph, matmul_provenance
-from repro.utils import MiB
+from repro.utils import KiB, MiB
 
-__all__ = ["Fig5Row", "default_sizes", "run", "render"]
+__all__ = [
+    "Fig5Row",
+    "PlannerRow",
+    "default_sizes",
+    "planner_depths",
+    "run",
+    "planner_run",
+    "verify_planner_numerics",
+    "render",
+    "render_planner",
+]
 
 
 def default_sizes() -> list[int]:
@@ -56,6 +78,125 @@ def _profile_one(config: tuple[IPUSpec, int], seed_seq) -> Fig5Row:
         check_fit=False,
     )
     return Fig5Row(n=n, profile=compiled.profile())
+
+
+# -- planner headroom sweep ----------------------------------------------------
+
+
+def planner_depths() -> list[int]:
+    """MLP depths for the planner headroom sweep.
+
+    Sized (with ``dim=batch=2048``) so the deepest entries exceed GC200's
+    usable tile memory without buffer reuse but fit with the planner.
+    """
+    return [2, 4, 6, 8, 10]
+
+
+@dataclass(frozen=True)
+class PlannerRow:
+    """One MLP depth compiled with and without the memory planner."""
+
+    depth: int
+    dim: int
+    batch: int
+    unplanned: GraphProfile
+    planned: GraphProfile
+
+    @property
+    def fits_no_reuse(self) -> bool:
+        return self.unplanned.fits
+
+    @property
+    def fits_planned(self) -> bool:
+        return self.planned.fits
+
+    @property
+    def reclaimed_fraction(self) -> float:
+        """Fraction of the no-reuse peak the planner reclaimed."""
+        return self.planned.plan_saving_fraction
+
+
+def _mlp(depth: int, dim: int):
+    from repro import nn
+
+    return nn.Sequential(
+        *[
+            m
+            for i in range(depth)
+            for m in (nn.Linear(dim, dim, seed=i), nn.ReLU())
+        ]
+    )
+
+
+def _planner_one(
+    config: tuple[IPUSpec, int, int, int], seed_seq
+) -> PlannerRow:
+    """Grid worker: profile one MLP depth planned and unplanned."""
+    from repro.ipu.poptorch import IPUModule
+
+    spec, depth, dim, batch = config
+    module = IPUModule(_mlp(depth, dim), dim, batch, spec=spec)
+    unplanned = compile_graph(module.graph, spec, check_fit=False)
+    planned = compile_graph(
+        module.graph, spec, check_fit=False, plan_memory=True
+    )
+    return PlannerRow(
+        depth=depth,
+        dim=dim,
+        batch=batch,
+        unplanned=unplanned.profile(),
+        planned=planned.profile(),
+    )
+
+
+def planner_run(
+    spec: IPUSpec = GC200,
+    depths: list[int] | None = None,
+    dim: int = 2048,
+    batch: int = 2048,
+    jobs: int = 1,
+) -> list[PlannerRow]:
+    """The planner headroom series: deep MLPs with/without buffer reuse."""
+    configs = [
+        (spec, depth, dim, batch) for depth in (depths or planner_depths())
+    ]
+    return run_grid(_planner_one, configs, jobs=jobs)
+
+
+def verify_planner_numerics(
+    spec: IPUSpec = GC200,
+    depth: int = 4,
+    dim: int = 64,
+    batch: int = 32,
+    seed: int = 0,
+) -> bool:
+    """Execute a small MLP planned and unplanned; True iff bit-identical.
+
+    The headroom sweep itself only *profiles* (its sizes are too big to
+    execute in numpy); this companion check runs real numerics through the
+    slot-aliased executor at a small size, including the executor's own
+    shadow-replay verification (``check_aliasing=True``).
+    """
+    from repro.ipu.poptorch import IPUModule
+
+    module = IPUModule(_mlp(depth, dim), dim, batch, spec=spec)
+    graph = module.graph
+    rng = np.random.default_rng(seed)
+    inputs = {
+        name: rng.standard_normal(var.shape)
+        for name, var in graph.variables.items()
+        if name.startswith(("input", "linear_w", "linear_bias_"))
+    }
+    plain = compile_graph(graph, spec, check_fit=False)
+    planned = compile_graph(
+        graph, spec, check_fit=False, plan_memory=True
+    )
+    ref, _ = Executor(plain).run(inputs)
+    out, _ = Executor(planned).run(inputs, check_aliasing=True)
+    surviving = planned.memory_plan().surviving_variables()
+    return all(
+        np.array_equal(ref[name], out[name]) for name in surviving
+    )
 
 
 def run(
@@ -102,5 +243,49 @@ def render(spec: IPUSpec = GC200, jobs: int = 1) -> str:
     return table.render()
 
 
+def render_planner(
+    spec: IPUSpec = GC200,
+    jobs: int = 1,
+    verify: bool = True,
+    rows: list[PlannerRow] | None = None,
+) -> str:
+    """Text rendering of the planner headroom series."""
+    table = Table(
+        title=(
+            "Fig 5 (planner): deep-MLP peak tile memory, "
+            "no-reuse vs liveness-planned"
+        ),
+        columns=[
+            "depth",
+            "no-reuse peak (KiB)",
+            "planned peak (KiB)",
+            "reclaimed",
+            "fits no-reuse",
+            "fits planned",
+        ],
+    )
+    if rows is None:
+        rows = planner_run(spec, jobs=jobs)
+    for row in rows:
+        table.add_row(
+            row.depth,
+            row.unplanned.peak_tile_bytes / KiB,
+            row.planned.peak_tile_bytes / KiB,
+            f"{row.reclaimed_fraction:.0%}",
+            "yes" if row.fits_no_reuse else "NO",
+            "yes" if row.fits_planned else "NO",
+        )
+    text = table.render()
+    if verify:
+        ok = verify_planner_numerics(spec)
+        text += (
+            "\nnumerics: planned execution "
+            + ("bit-identical to unplanned" if ok else "DIVERGED")
+        )
+    return text
+
+
 if __name__ == "__main__":
     print(render())
+    print()
+    print(render_planner())

@@ -4,7 +4,9 @@ The paper uses the PopVision Graph Analyzer to explain the Fig 6
 performance gap: the number of compute sets correlates with variables,
 edges and vertices, and those drive memory.  This sweep compiles the
 lowered forward graphs of both factorizations (plus linear for reference)
-and reports the same quantities.
+and reports the same quantities, plus the liveness-planned peak per
+parameterisation (:mod:`repro.ipu.memplan`) — how much of each lowering's
+footprint is reclaimable staging buffers.
 """
 
 from __future__ import annotations
@@ -15,10 +17,10 @@ from repro import nn
 from repro.bench.parallel import run_grid
 from repro.bench.reporting import Table
 from repro.experiments.fig6 import FIG6_PIXELFLY
-from repro.ipu.compiler import GraphProfile
+from repro.ipu.compiler import GraphProfile, compile_graph
 from repro.ipu.machine import GC200, IPUSpec
 from repro.ipu.poptorch import IPUModule
-from repro.utils import MiB
+from repro.utils import KiB, MiB
 
 __all__ = ["Fig7Row", "default_sizes", "run", "render"]
 
@@ -30,11 +32,23 @@ def default_sizes() -> list[int]:
 
 @dataclass(frozen=True)
 class Fig7Row:
-    """Graph profile of one layer type at one size."""
+    """Graph profile of one layer type at one size.
+
+    ``profile`` is the classic (no-reuse) compile; ``planned`` the same
+    graph under the liveness-driven memory planner.
+    """
 
     layer: str
     n: int
     profile: GraphProfile
+    planned: GraphProfile | None = None
+
+    @property
+    def reclaimed_fraction(self) -> float:
+        """Fraction of the no-reuse peak the planner reclaimed."""
+        if self.planned is None:
+            return 0.0
+        return self.planned.plan_saving_fraction
 
 
 def _profile_size(config: tuple[IPUSpec, int], seed_seq) -> list[Fig7Row]:
@@ -47,16 +61,20 @@ def _profile_size(config: tuple[IPUSpec, int], seed_seq) -> list[Fig7Row]:
             n, bias=False, seed=0, **FIG6_PIXELFLY
         ),
     }
-    return [
-        Fig7Row(
-            layer=name,
-            n=n,
-            profile=IPUModule(
-                layer, in_features=n, batch=n, spec=spec
-            ).profile(),
+    rows = []
+    for name, layer in layers.items():
+        module = IPUModule(layer, in_features=n, batch=n, spec=spec)
+        rows.append(
+            Fig7Row(
+                layer=name,
+                n=n,
+                profile=module.profile(),
+                planned=compile_graph(
+                    module.graph, spec, check_fit=False, plan_memory=True
+                ).profile(),
+            )
         )
-        for name, layer in layers.items()
-    ]
+    return rows
 
 
 def run(
@@ -90,10 +108,14 @@ def render(
             "variables",
             "total mem (MiB)",
             "free (MiB)",
+            "peak tile (KiB)",
+            "planned peak (KiB)",
+            "reclaimed",
         ],
     )
     for row in run(spec, sizes, jobs=jobs):
         p = row.profile
+        planned = row.planned
         table.add_row(
             row.layer,
             row.n,
@@ -103,6 +125,9 @@ def render(
             p.n_variables,
             p.total_bytes / MiB,
             p.free_bytes / MiB,
+            p.peak_tile_bytes / KiB,
+            planned.peak_tile_bytes / KiB if planned else float("nan"),
+            f"{row.reclaimed_fraction:.0%}",
         )
     return table.render()
 

@@ -99,6 +99,7 @@ def chaos_execute(
     policy: RecoveryPolicy | None = None,
     max_recompiles: int = 16,
     injector: FaultInjector | None = None,
+    plan_memory: bool = False,
 ) -> ChaosResult:
     """Estimate *graph* on *spec* while *plan*'s faults fire.
 
@@ -120,8 +121,13 @@ def chaos_execute(
     pending: FaultEvent | None = None
     while True:
         try:
+            # Each degraded recompile re-plans: the memory plan lives on
+            # logical tiles and is re-folded onto the survivors.
             compiled = compile_graph(
-                graph, spec, exclude_tiles=excluded or None
+                graph,
+                spec,
+                exclude_tiles=excluded or None,
+                plan_memory=plan_memory,
             )
         except IPUOutOfMemoryError as exc:
             error = str(exc)
@@ -339,6 +345,7 @@ def max_dead_tiles(
     graph,
     spec: IPUSpec = GC200,
     seed: int = 0,
+    plan_memory: bool = False,
 ) -> int:
     """Largest number of dead tiles *graph* survives before genuine OOM.
 
@@ -346,6 +353,9 @@ def max_dead_tiles(
     the survivors (round-robin fold, concentrating memory) and the
     search returns the largest count for which the fold still fits.
     Returns -1 when the graph does not even fit on the healthy device.
+    ``plan_memory=True`` gates each degraded recompile on the *planned*
+    peak, so graphs with reusable staging buffers survive more dead
+    tiles.
     """
     order = np.random.default_rng(
         np.random.SeedSequence([int(seed)])
@@ -356,7 +366,9 @@ def max_dead_tiles(
             frozenset(int(t) for t in order[:k]) if k else None
         )
         try:
-            compile_graph(graph, spec, exclude_tiles=excl)
+            compile_graph(
+                graph, spec, exclude_tiles=excl, plan_memory=plan_memory
+            )
             return True
         except IPUOutOfMemoryError:
             return False

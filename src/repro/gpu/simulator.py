@@ -111,7 +111,12 @@ class GPUDevice:
     ) -> KernelCost:
         """Cost of ``A_sparse @ B`` with B having *n_cols* columns."""
         m, k = a.shape
-        footprint = a.storage_bytes() + 4 * (k * n_cols + m * n_cols)
+        # The device kernel stores fp32 values with int32 indices
+        # (cuSPARSE's CsrMatDescr default), not the host's
+        # float64/int64 arrays — pass the modelled widths explicitly.
+        footprint = a.storage_bytes(value_bytes=4, index_bytes=4) + 4 * (
+            k * n_cols + m * n_cols
+        )
         self.check_fit(footprint, "spmm")
         if isinstance(a, CSRMatrix):
             return csr_spmm_cost(self.spec, m, k, n_cols, a.nnz)

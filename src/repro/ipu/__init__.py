@@ -20,6 +20,7 @@ from repro.ipu.compiler import (
     GraphProfile,
     IPUOutOfMemoryError,
 )
+from repro.ipu.memplan import MemoryPlan, MemorySlot, plan_memory
 from repro.ipu.executor import Executor, ExecutionReport, StepTiming
 from repro.ipu.poplin import (
     MatMulPlan,
@@ -64,6 +65,9 @@ __all__ = [
     "MemoryReport",
     "GraphProfile",
     "IPUOutOfMemoryError",
+    "MemoryPlan",
+    "MemorySlot",
+    "plan_memory",
     "Executor",
     "ExecutionReport",
     "StepTiming",

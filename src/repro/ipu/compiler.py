@@ -36,6 +36,7 @@ from repro.cache import (
 )
 from repro.ipu.graph import Graph
 from repro.ipu.machine import IPUSpec
+from repro.ipu.memplan import MemoryPlan, plan_memory as _plan_memory
 from repro.obs import get_registry, get_tracer
 from repro.obs.metrics import DEFAULT_BYTES_EDGES
 from repro.utils import format_bytes
@@ -93,11 +94,54 @@ class MemoryBreakdown:
 
 @dataclass
 class MemoryReport:
-    """Per-tile memory map plus totals for one compiled graph."""
+    """Per-tile memory map plus totals for one compiled graph.
+
+    For a planned compile (``compile_graph(..., plan_memory=True)``)
+    ``per_tile_bytes`` is the *planned* footprint — variables charged at
+    their shared-slot capacities — and ``no_reuse_per_tile_bytes`` keeps
+    the footprint the same graph would have without buffer reuse, so the
+    reclaimed headroom is always inspectable.  ``fits``/``check_fit``
+    therefore gate on the planned peak.
+    """
 
     spec: IPUSpec
     per_tile_bytes: np.ndarray
     breakdown: MemoryBreakdown
+    #: Per-tile footprint without buffer reuse (None for unplanned
+    #: compiles, where ``per_tile_bytes`` *is* the no-reuse footprint).
+    no_reuse_per_tile_bytes: np.ndarray | None = None
+
+    @property
+    def planned(self) -> bool:
+        """True when this report came from a planned compile."""
+        return self.no_reuse_per_tile_bytes is not None
+
+    @property
+    def peak_planned_bytes(self) -> float:
+        """Peak tile bytes under the memory plan (== peak when planned)."""
+        return self.peak_tile_bytes
+
+    @property
+    def no_reuse_peak_tile_bytes(self) -> float:
+        """Peak tile bytes without buffer reuse."""
+        if self.no_reuse_per_tile_bytes is None:
+            return self.peak_tile_bytes
+        if not len(self.no_reuse_per_tile_bytes):
+            return 0.0
+        return float(self.no_reuse_per_tile_bytes.max())
+
+    @property
+    def plan_saving_bytes(self) -> float:
+        """Peak-tile bytes reclaimed by the planner (0 when unplanned)."""
+        return self.no_reuse_peak_tile_bytes - self.peak_tile_bytes
+
+    @property
+    def plan_saving_fraction(self) -> float:
+        """Reclaimed fraction of the no-reuse peak (0 when unplanned)."""
+        no_reuse = self.no_reuse_peak_tile_bytes
+        if no_reuse <= 0:
+            return 0.0
+        return self.plan_saving_bytes / no_reuse
 
     @property
     def total_bytes(self) -> float:
@@ -130,13 +174,20 @@ class MemoryReport:
 
     def __str__(self) -> str:
         b = self.breakdown
+        planned = (
+            f", planned saving={format_bytes(self.plan_saving_bytes)} "
+            f"[{self.plan_saving_fraction:.0%} of no-reuse peak "
+            f"{format_bytes(self.no_reuse_peak_tile_bytes)}]"
+            if self.planned
+            else ""
+        )
         return (
             f"MemoryReport(total={format_bytes(self.total_bytes)}, "
             f"peak tile={format_bytes(self.peak_tile_bytes)}, "
             f"free={format_bytes(self.free_bytes)}, "
             f"variables={format_bytes(b.variables)}, "
             f"overhead={format_bytes(b.overhead)} "
-            f"[{b.overhead_fraction:.0%}])"
+            f"[{b.overhead_fraction:.0%}]{planned})"
         )
 
 
@@ -152,6 +203,21 @@ class GraphProfile:
     total_bytes: float
     free_bytes: float
     fits: bool
+    #: Peak per-tile footprint (planned footprint for planned compiles).
+    peak_tile_bytes: float = 0.0
+    #: Peak per-tile footprint without buffer reuse.
+    no_reuse_peak_tile_bytes: float = 0.0
+    #: True when the compile ran the memory planner.
+    planned: bool = False
+
+    @property
+    def plan_saving_fraction(self) -> float:
+        """Reclaimed fraction of the no-reuse peak (0 when unplanned)."""
+        if self.no_reuse_peak_tile_bytes <= 0:
+            return 0.0
+        return (
+            self.no_reuse_peak_tile_bytes - self.peak_tile_bytes
+        ) / self.no_reuse_peak_tile_bytes
 
 
 @dataclass(frozen=True)
@@ -199,10 +265,30 @@ class CompiledGraph:
     per_cs_tiles: list[set[int]] = field(default_factory=list)
     excluded_tiles: frozenset[int] = frozenset()
     tile_map: np.ndarray | None = None
+    #: Slot assignment when compiled with ``plan_memory=True`` (None for
+    #: unplanned compiles and for planned cache hits, where
+    #: :meth:`memory_plan` recomputes it deterministically on demand).
+    plan: MemoryPlan | None = None
 
     @property
     def n_surviving_tiles(self) -> int:
         return self.spec.n_tiles - len(self.excluded_tiles)
+
+    def memory_plan(self) -> MemoryPlan | None:
+        """The memory plan of a planned compile, recomputed if needed.
+
+        A planned cache hit carries the planned *footprint* but not the
+        slot assignment; planning is deterministic, so it is recomputed
+        from the real graph here.  Returns ``None`` for unplanned
+        compiles and for warm hits that only have a
+        :class:`GraphSummary`.
+        """
+        if self.plan is not None:
+            return self.plan
+        if not self.memory.planned or not isinstance(self.graph, Graph):
+            return None
+        self.plan = _plan_memory(self.graph)
+        return self.plan
 
     def physical_tile(self, logical_tile: int) -> int:
         """Physical tile a logical (graph) tile was placed on."""
@@ -222,6 +308,9 @@ class CompiledGraph:
             total_bytes=self.memory.total_bytes,
             free_bytes=self.memory.free_bytes,
             fits=self.memory.fits,
+            peak_tile_bytes=self.memory.peak_tile_bytes,
+            no_reuse_peak_tile_bytes=self.memory.no_reuse_peak_tile_bytes,
+            planned=self.memory.planned,
         )
 
 
@@ -288,31 +377,44 @@ def _identity_parts(graph: Graph) -> tuple:
 
 
 def _key_from_parts(
-    identity: tuple, spec: IPUSpec, excluded: frozenset[int]
+    identity: tuple,
+    spec: IPUSpec,
+    excluded: frozenset[int],
+    planned: bool = False,
 ) -> str:
-    return canonical_key(
+    parts = [
         identity,
         dataclass_key(spec),
         ("exclude",) + tuple(sorted(excluded)),
-    )
+    ]
+    if planned:
+        # Unplanned keys stay byte-identical to earlier cache versions;
+        # planned compiles get their own namespace.
+        parts.append(("plan", "linear-scan-v1"))
+    return canonical_key(*parts)
 
 
 def compile_cache_key(
     graph: Graph,
     spec: IPUSpec,
     exclude_tiles: "frozenset[int] | set[int] | None" = None,
+    plan_memory: bool = False,
 ) -> str:
     """The content-addressed cache key of one ``compile_graph`` call.
 
     Combines the graph's identity — its ``provenance`` tuple when a
     builder attached one, else the full structural
-    :func:`graph_fingerprint` — with **every** :class:`IPUSpec` field
-    and the sorted excluded-tile set.  ``check_fit`` is deliberately not
-    part of the key: it changes only whether an OOM report raises, never
-    the computed artefacts.
+    :func:`graph_fingerprint` — with **every** :class:`IPUSpec` field,
+    the sorted excluded-tile set, and (for planned compiles) the memory
+    planner version.  ``check_fit`` is deliberately not part of the key:
+    it changes only whether an OOM report raises, never the computed
+    artefacts.  ``plan_memory`` *is* part of it: a planned compile
+    produces a different per-tile footprint.
     """
     excluded = frozenset(int(t) for t in (exclude_tiles or ()))
-    return _key_from_parts(_identity_parts(graph), spec, excluded)
+    return _key_from_parts(
+        _identity_parts(graph), spec, excluded, planned=plan_memory
+    )
 
 
 def _record_from(compiled: CompiledGraph) -> CacheRecord:
@@ -349,6 +451,10 @@ def _record_from(compiled: CompiledGraph) -> CacheRecord:
     }
     if compiled.tile_map is not None:
         arrays["tile_map"] = np.asarray(compiled.tile_map, dtype=np.int64)
+    if compiled.memory.no_reuse_per_tile_bytes is not None:
+        arrays["no_reuse_per_tile"] = np.asarray(
+            compiled.memory.no_reuse_per_tile_bytes, dtype=np.float64
+        )
     meta = {
         "graph": {
             "name": g.name,
@@ -361,6 +467,15 @@ def _record_from(compiled: CompiledGraph) -> CacheRecord:
         },
         "spec": compiled.spec.name,
     }
+    if compiled.plan is not None:
+        meta["plan"] = {
+            "n_slots": compiled.plan.n_slots,
+            "n_shared_slots": compiled.plan.n_shared_slots,
+            "planned_variable_bytes": int(
+                compiled.plan.planned_variable_bytes
+            ),
+            "reuse_fraction": float(compiled.plan.reuse_fraction),
+        }
     return CacheRecord(arrays=arrays, meta=meta)
 
 
@@ -380,6 +495,7 @@ def _compiled_from_record(
         spec=spec,
         per_tile_bytes=arrays["per_tile_bytes"],
         breakdown=breakdown,
+        no_reuse_per_tile_bytes=arrays.get("no_reuse_per_tile"),
     )
     per_cs_tiles: list[set[int]] = []
     offset = 0
@@ -429,8 +545,17 @@ def compile_graph(
     check_fit: bool = True,
     exclude_tiles: "frozenset[int] | set[int] | None" = None,
     cache: CompilationCache | None = None,
+    plan_memory: bool = False,
 ) -> CompiledGraph:
     """Account memory for *graph* on *spec*; optionally raise on OOM.
+
+    ``plan_memory=True`` runs the liveness-driven slot allocator
+    (:func:`repro.ipu.memplan.plan_memory`): variables with disjoint
+    live ranges share storage, the per-tile footprint charges slot
+    capacities instead of every variable, and ``check_fit`` gates on the
+    *planned* peak — so problem sizes that OOM unplanned can compile.
+    The no-reuse footprint is kept on the report
+    (:attr:`MemoryReport.no_reuse_per_tile_bytes`) for comparison.
 
     ``exclude_tiles`` compiles the graph onto the surviving tile set
     (graceful degradation after permanent tile failures): logical tiles
@@ -465,7 +590,9 @@ def compile_graph(
     cache = cache if cache is not None else get_cache()
     key: str | None = None
     if cache.enabled:
-        key = _key_from_parts(_identity_parts(graph), spec, excluded)
+        key = _key_from_parts(
+            _identity_parts(graph), spec, excluded, planned=plan_memory
+        )
         record = cache.lookup(key)
         if record is not None:
             compiled = _compiled_from_record(record, graph, spec)
@@ -481,18 +608,33 @@ def compile_graph(
         n_edges=graph.n_edges,
         n_compute_sets=graph.n_compute_sets,
         n_excluded_tiles=len(excluded),
+        plan_memory=plan_memory,
     ) as compile_span:
         per_tile = np.zeros(spec.n_tiles, dtype=np.float64)
 
-        # Variable data, spread over each variable's home range.
+        # Variable data, spread over each variable's home range.  A
+        # planned compile charges slot capacities (variables with
+        # disjoint live ranges share storage); the no-reuse shares are
+        # kept alongside for the report.
         var_total = 0.0
+        var_share = np.zeros(spec.n_tiles, dtype=np.float64)
+        plan: MemoryPlan | None = None
         with tracer.span("compile.map_variables", category="compile"):
             for var in graph.variables.values():
                 share = var.total_bytes / var.tile_span
-                per_tile[
+                var_share[
                     var.home_tile : var.home_tile + var.tile_span
                 ] += share
                 var_total += var.total_bytes
+        if plan_memory:
+            with tracer.span("compile.plan_memory", category="compile"):
+                plan = _plan_memory(graph)
+            planned_share = np.zeros(spec.n_tiles, dtype=np.float64)
+            planned_share[: graph.n_tiles] = plan.per_tile_bytes
+            per_tile += planned_share
+            var_total = float(plan.planned_variable_bytes)
+        else:
+            per_tile += var_share
 
         # Vertex state and edge code on the vertex's tile.
         vertex_total = 0.0
@@ -535,9 +677,17 @@ def compile_graph(
             per_tile += recv_peak
         exchange_total = float(recv_peak.sum())
 
+        # The footprint the same graph would have without buffer reuse
+        # (identical overheads, full variable charges).
+        no_reuse_tile: np.ndarray | None = None
+        if plan_memory:
+            no_reuse_tile = per_tile - planned_share + var_share
+
         # Degraded compile: fold every logical tile's load onto its
         # surviving physical tile (receive buffers of co-located logical
-        # tiles coexist, so the fold sums them too).
+        # tiles coexist, so the fold sums them too).  The memory plan is
+        # on logical tiles, so a planned degraded compile re-plans the
+        # folded footprint automatically.
         tile_map: np.ndarray | None = None
         if excluded:
             with tracer.span("compile.fold_degraded", category="compile"):
@@ -545,6 +695,10 @@ def compile_graph(
                 folded = np.zeros(spec.n_tiles, dtype=np.float64)
                 np.add.at(folded, tile_map, per_tile)
                 per_tile = folded
+                if no_reuse_tile is not None:
+                    folded_nr = np.zeros(spec.n_tiles, dtype=np.float64)
+                    np.add.at(folded_nr, tile_map, no_reuse_tile)
+                    no_reuse_tile = folded_nr
 
         breakdown = MemoryBreakdown(
             variables=var_total,
@@ -555,7 +709,10 @@ def compile_graph(
             exchange_buffers=exchange_total,
         )
         report = MemoryReport(
-            spec=spec, per_tile_bytes=per_tile, breakdown=breakdown
+            spec=spec,
+            per_tile_bytes=per_tile,
+            breakdown=breakdown,
+            no_reuse_per_tile_bytes=no_reuse_tile,
         )
         if tracer.enabled:
             compile_span.attributes.update(
@@ -563,15 +720,26 @@ def compile_graph(
                 total_bytes=report.total_bytes,
                 fits=report.fits,
             )
-            tracer.counter(
-                "compile.memory",
-                {
-                    "peak_tile_bytes": report.peak_tile_bytes,
-                    "total_bytes": report.total_bytes,
-                    "variable_bytes": breakdown.variables,
-                    "overhead_bytes": breakdown.overhead,
-                },
-            )
+            counter_fields = {
+                "peak_tile_bytes": report.peak_tile_bytes,
+                "total_bytes": report.total_bytes,
+                "variable_bytes": breakdown.variables,
+                "overhead_bytes": breakdown.overhead,
+            }
+            if report.planned:
+                compile_span.attributes.update(
+                    peak_planned_bytes=report.peak_planned_bytes,
+                    no_reuse_peak_tile_bytes=(
+                        report.no_reuse_peak_tile_bytes
+                    ),
+                )
+                counter_fields["peak_planned_bytes"] = (
+                    report.peak_planned_bytes
+                )
+                counter_fields["no_reuse_peak_tile_bytes"] = (
+                    report.no_reuse_peak_tile_bytes
+                )
+            tracer.counter("compile.memory", counter_fields)
         registry = get_registry()
         if registry.enabled:
             # The Fig 5 quantities (graph structure) as gauges, the Fig 7
@@ -592,6 +760,17 @@ def compile_graph(
                 ("compile.free_bytes", report.free_bytes),
             ):
                 registry.gauge(metric, graph=name).set(value)
+            if report.planned and plan is not None:
+                for metric, value in (
+                    ("compile.peak_planned_bytes",
+                     report.peak_planned_bytes),
+                    ("compile.no_reuse_peak_bytes",
+                     report.no_reuse_peak_tile_bytes),
+                    ("compile.plan_reuse_fraction",
+                     plan.reuse_fraction),
+                    ("compile.plan_slots", plan.n_slots),
+                ):
+                    registry.gauge(metric, graph=name).set(value)
             registry.histogram(
                 "compile.tile_bytes", edges=DEFAULT_BYTES_EDGES, graph=name
             ).observe_many(per_tile)
@@ -602,6 +781,7 @@ def compile_graph(
         per_cs_tiles=per_cs_tiles,
         excluded_tiles=excluded,
         tile_map=tile_map,
+        plan=plan,
     )
     if cache.enabled and key is not None:
         # Unfitting graphs are cached too: the OOM outcome is a pure
@@ -619,6 +799,7 @@ def cached_compile(
     check_fit: bool = True,
     exclude_tiles: "frozenset[int] | set[int] | None" = None,
     cache: CompilationCache | None = None,
+    plan_memory: bool = False,
 ) -> CompiledGraph:
     """Compile-by-provenance: skip graph *construction* on a warm hit.
 
@@ -639,7 +820,8 @@ def cached_compile(
     cache = cache if cache is not None else get_cache()
     if cache.enabled:
         key = _key_from_parts(
-            ("provenance",) + provenance, spec, excluded
+            ("provenance",) + provenance, spec, excluded,
+            planned=plan_memory,
         )
         record = cache.lookup(key)
         if record is not None:
@@ -651,7 +833,11 @@ def cached_compile(
     graph.provenance = provenance
     if not cache.enabled:
         return compile_graph(
-            graph, spec, check_fit=check_fit, exclude_tiles=excluded
+            graph,
+            spec,
+            check_fit=check_fit,
+            exclude_tiles=excluded,
+            plan_memory=plan_memory,
         )
     # The lookup above already counted this key's miss; compile uncached
     # and store under the same key so hot and cold stats stay exact.
@@ -663,6 +849,7 @@ def cached_compile(
         check_fit=False,
         exclude_tiles=excluded,
         cache=NULL_CACHE,
+        plan_memory=plan_memory,
     )
     cache.store(key, _record_from(compiled))
     if check_fit and not compiled.memory.fits:

@@ -446,26 +446,110 @@ class Executor:
 
     # -- numeric execution -----------------------------------------------------
 
+    def _zero_state(self) -> dict[str, np.ndarray]:
+        """One private zero buffer per variable (unplanned layout)."""
+        return {
+            name: np.zeros(var.shape, dtype=np.float64)
+            for name, var in self.graph.variables.items()
+        }
+
+    def _aliased_state(self, plan) -> dict[str, np.ndarray]:
+        """Slot-aliased buffers mirroring the compile-time memory plan.
+
+        One flat buffer per slot; every member variable maps a reshaped
+        view of the buffer's prefix, so slot-mates genuinely share
+        storage and a planning bug would corrupt numerics visibly.
+        """
+        buffers = {
+            slot.index: np.zeros(slot.n_elements, dtype=np.float64)
+            for slot in plan.slots
+        }
+        return {
+            name: buffers[plan.assignment[name]][: var.n_elements].reshape(
+                var.shape
+            )
+            for name, var in self.graph.variables.items()
+        }
+
+    def _seed_inputs(
+        self,
+        state: dict[str, np.ndarray],
+        inputs: dict[str, np.ndarray],
+        skip: "frozenset[str] | set[str]" = frozenset(),
+    ) -> None:
+        """Write host inputs into *state* buffers (in place).
+
+        *skip* holds the plan's reused variables: they are fully defined
+        before any read, so their initial contents are unobservable and
+        seeding them would scribble over an aliased slot-mate.
+        """
+        for name, var in self.graph.variables.items():
+            if name not in inputs:
+                continue
+            arr = np.asarray(inputs[name])
+            if arr.shape != var.shape:
+                raise ValueError(
+                    f"input {name!r} has shape {arr.shape}, variable "
+                    f"expects {var.shape}"
+                )
+            if name in skip:
+                continue
+            state[name][...] = arr.astype(np.float64, copy=False)
+
+    def _apply_step(self, step, state: dict[str, np.ndarray]) -> None:
+        """Apply one program step's numerics to *state*, in place."""
+        if step.kind == "compute":
+            cs = self.graph.compute_sets[step.ref]
+            for vertex in self.graph.vertices_in(cs):
+                CODELETS[vertex.codelet].execute(vertex, state)
+        elif step.kind == "copy":
+            src, dst = step.ref
+            state[dst][...] = state[src].reshape(
+                self.graph.variables[dst].shape
+            )
+
+    def _verify_aliasing(
+        self,
+        inputs: dict[str, np.ndarray],
+        state: dict[str, np.ndarray],
+        plan,
+    ) -> None:
+        """Replay unplanned and require bit-identical surviving values.
+
+        A slot's last occupant owns its bytes at program end, so every
+        surviving variable must match the unplanned reference exactly —
+        any divergence means the planner aliased two overlapping live
+        ranges.
+        """
+        shadow = self._zero_state()
+        self._seed_inputs(shadow, inputs)
+        for step in self.graph.program:
+            self._apply_step(step, shadow)
+        for name in sorted(plan.surviving_variables()):
+            if not np.array_equal(state[name], shadow[name]):
+                raise RuntimeError(
+                    f"memory plan corrupted variable {name!r}: planned "
+                    "execution diverged from the unplanned reference"
+                )
+
     def run(
-        self, inputs: dict[str, np.ndarray]
+        self,
+        inputs: dict[str, np.ndarray],
+        check_aliasing: bool = False,
     ) -> tuple[dict[str, np.ndarray], ExecutionReport]:
         """Execute the program numerically; returns (state, timing report).
 
         Every variable gets a zero-initialised buffer unless supplied in
         *inputs*.  Raises if the graph uses estimate-only codelets.
+
+        When the graph was compiled with ``plan_memory=True``, buffers
+        are allocated slot-aliased exactly as planned: variables sharing
+        a slot share storage, and the values of
+        ``plan.surviving_variables()`` (every slot's last occupant —
+        which includes all program outputs) are guaranteed bit-identical
+        to an unplanned run.  ``check_aliasing=True`` verifies that
+        guarantee against an unplanned replay and raises on divergence.
         """
-        state: dict[str, np.ndarray] = {}
-        for name, var in self.graph.variables.items():
-            if name in inputs:
-                arr = np.asarray(inputs[name])
-                if arr.shape != var.shape:
-                    raise ValueError(
-                        f"input {name!r} has shape {arr.shape}, variable "
-                        f"expects {var.shape}"
-                    )
-                state[name] = arr.astype(np.float64, copy=True)
-            else:
-                state[name] = np.zeros(var.shape, dtype=np.float64)
         unknown = {
             v.codelet
             for v in self.graph.vertices
@@ -477,28 +561,32 @@ class Executor:
                 f"graph uses estimate-only codelets {sorted(unknown)}; "
                 "numeric run is not available"
             )
+        plan = self.compiled.memory_plan()
+        if plan is not None:
+            state = self._aliased_state(plan)
+            self._seed_inputs(state, inputs, skip=plan.reused_variables())
+        else:
+            state = self._zero_state()
+            self._seed_inputs(state, inputs)
         report = ExecutionReport(
             engine_overhead_s=self.spec.engine_run_overhead_s
         )
         self._fault_windows = []
         with get_tracer().span(
-            "executor.run", category="ipu", graph=self.graph.name
+            "executor.run",
+            category="ipu",
+            graph=self.graph.name,
+            planned=plan is not None,
         ):
             for index, step in enumerate(self.graph.program):
                 # Timing first: a permanent tile fault aborts the step
                 # before its numerics execute (the data died with the
                 # tile); recovered faults replay to the same values.
                 timing = self._step_timing(index, step)
-                if step.kind == "compute":
-                    cs = self.graph.compute_sets[step.ref]
-                    for vertex in self.graph.vertices_in(cs):
-                        CODELETS[vertex.codelet].execute(vertex, state)
-                elif step.kind == "copy":
-                    src, dst = step.ref
-                    state[dst] = state[src].reshape(
-                        self.graph.variables[dst].shape
-                    ).copy()
+                self._apply_step(step, state)
                 report.steps.append(timing)
         self._trace_report(report)
         self._record_metrics(report)
+        if check_aliasing and plan is not None:
+            self._verify_aliasing(inputs, state, plan)
         return state, report

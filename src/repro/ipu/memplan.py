@@ -1,0 +1,236 @@
+"""Liveness-driven memory planner: compile-time buffer reuse.
+
+Real Poplar reclaims the storage of dead temporaries; the base compiler
+charges every variable as always-live.  This module closes that gap: it
+takes the live intervals from :func:`repro.ipu.liveness.compute_liveness`
+and packs variables into shared tile-memory *slots* with a linear scan —
+intervals sorted by start step, greedy first-fit into the earliest
+compatible freed slot.  The planned per-tile footprint replaces the
+no-reuse one when :func:`repro.ipu.compiler.compile_graph` is called with
+``plan_memory=True``.
+
+Soundness rules (why aliasing cannot corrupt numerics)
+------------------------------------------------------
+A variable may *reuse* a slot (become a non-first occupant) only if all
+of the following hold, so that no program step can observe the previous
+occupant's bytes through it:
+
+1. it is not ``upward_exposed`` (never read before its first def — an
+   upward-exposed variable must hold external data from program start);
+2. its first def is ``fully_defined`` (writes every element, so no read
+   mixes fresh and stale data);
+3. its first def strictly precedes its first use (``def_before_use`` —
+   nothing reads it during the step that initialises it).
+
+A slot is reusable only *strictly after* its current occupant's last use
+(``free_after < start``), so producer and consumer of the same step never
+share storage.  Slots are layout classes: two variables share a slot only
+if they have the same ``(home_tile, tile_span)`` placement, which keeps
+the per-tile accounting exact.  Never-written variables (weights, inputs)
+are pinned to dedicated slots that never free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ipu.graph import Graph
+from repro.ipu.liveness import LivenessReport, compute_liveness
+from repro.utils import format_bytes
+
+__all__ = ["MemorySlot", "MemoryPlan", "plan_memory"]
+
+
+@dataclass(frozen=True)
+class MemorySlot:
+    """One reusable arena: storage shared by non-overlapping variables."""
+
+    index: int
+    home_tile: int
+    tile_span: int
+    #: Slot capacity: the largest member footprint, in bytes / elements.
+    nbytes: int
+    n_elements: int
+    #: Occupants in program order; members[0] founded the slot.
+    members: tuple[str, ...]
+    #: Pinned slots (always-live occupants) are never reused.
+    pinned: bool = False
+
+    @property
+    def shared(self) -> bool:
+        return len(self.members) > 1
+
+
+@dataclass
+class MemoryPlan:
+    """Slot assignment for every variable of one graph."""
+
+    slots: list[MemorySlot]
+    #: variable name -> slot index.
+    assignment: dict[str, int]
+    #: Planned variable bytes per tile (slot capacities, spread evenly).
+    per_tile_bytes: np.ndarray
+    #: The no-reuse footprint per tile (every variable charged fully).
+    no_reuse_per_tile_bytes: np.ndarray
+
+    @property
+    def planned_variable_bytes(self) -> int:
+        return sum(slot.nbytes for slot in self.slots)
+
+    @property
+    def no_reuse_variable_bytes(self) -> int:
+        return int(round(self.no_reuse_per_tile_bytes.sum()))
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return self.no_reuse_variable_bytes - self.planned_variable_bytes
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of the no-reuse variable footprint reclaimed."""
+        total = self.no_reuse_variable_bytes
+        if total == 0:
+            return 0.0
+        return self.reclaimed_bytes / total
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slots)
+
+    @property
+    def n_shared_slots(self) -> int:
+        return sum(1 for slot in self.slots if slot.shared)
+
+    def reused_variables(self) -> set[str]:
+        """Variables that are non-first occupants of a shared slot.
+
+        Their pre-def contents are unobservable by construction, so the
+        executor skips seeding them from host inputs.
+        """
+        return {
+            name
+            for slot in self.slots
+            for name in slot.members[1:]
+        }
+
+    def surviving_variables(self) -> set[str]:
+        """The last occupant of every slot: its bytes outlive the program."""
+        return {slot.members[-1] for slot in self.slots}
+
+    def __str__(self) -> str:
+        return (
+            f"MemoryPlan({self.n_slots} slots for "
+            f"{len(self.assignment)} variables, "
+            f"{self.n_shared_slots} shared, planned="
+            f"{format_bytes(self.planned_variable_bytes)} vs no-reuse="
+            f"{format_bytes(self.no_reuse_variable_bytes)}, "
+            f"reclaimed {self.reuse_fraction:.0%})"
+        )
+
+
+@dataclass
+class _OpenSlot:
+    """Mutable slot record during the linear scan."""
+
+    index: int
+    home_tile: int
+    tile_span: int
+    nbytes: int
+    n_elements: int
+    members: list[str] = field(default_factory=list)
+    #: Last step at which the current occupant may be read.
+    free_after: int = -1
+    pinned: bool = False
+
+
+def plan_memory(
+    graph: Graph, liveness: LivenessReport | None = None
+) -> MemoryPlan:
+    """Assign every variable of *graph* to a (possibly shared) slot.
+
+    Deterministic: intervals are processed in ``(start, -nbytes, name)``
+    order and slots are scanned first-fit in creation order, so the same
+    graph always yields the same plan.
+    """
+    report = liveness if liveness is not None else compute_liveness(graph)
+    n_tiles = graph.n_tiles
+    open_slots: list[_OpenSlot] = []
+    by_class: dict[tuple[int, int], list[_OpenSlot]] = {}
+    assignment: dict[str, int] = {}
+
+    def new_slot(iv, n_elements: int, pinned: bool) -> _OpenSlot:
+        slot = _OpenSlot(
+            index=len(open_slots),
+            home_tile=iv.home_tile,
+            tile_span=iv.tile_span,
+            nbytes=iv.nbytes,
+            n_elements=n_elements,
+            members=[iv.var],
+            free_after=iv.end,
+            pinned=pinned,
+        )
+        open_slots.append(slot)
+        by_class.setdefault((iv.home_tile, iv.tile_span), []).append(slot)
+        assignment[iv.var] = slot.index
+        return slot
+
+    # Never-written variables hold live data for the whole program: one
+    # dedicated slot each, never offered for reuse.
+    for iv in report.always_live:
+        new_slot(iv, graph.variables[iv.var].n_elements, pinned=True)
+
+    order = sorted(
+        report.intervals, key=lambda iv: (iv.start, -iv.nbytes, iv.var)
+    )
+    for iv in order:
+        n_elements = graph.variables[iv.var].n_elements
+        reusable = (
+            not iv.upward_exposed
+            and iv.fully_defined
+            and iv.def_before_use
+        )
+        placed = None
+        if reusable:
+            for slot in by_class.get((iv.home_tile, iv.tile_span), ()):
+                if not slot.pinned and slot.free_after < iv.start:
+                    placed = slot
+                    break
+        if placed is None:
+            new_slot(iv, n_elements, pinned=False)
+        else:
+            placed.nbytes = max(placed.nbytes, iv.nbytes)
+            placed.n_elements = max(placed.n_elements, n_elements)
+            placed.members.append(iv.var)
+            placed.free_after = max(placed.free_after, iv.end)
+            assignment[iv.var] = placed.index
+
+    per_tile = np.zeros(n_tiles)
+    for slot in open_slots:
+        share = slot.nbytes / slot.tile_span
+        per_tile[slot.home_tile : slot.home_tile + slot.tile_span] += share
+
+    no_reuse = np.zeros(n_tiles)
+    for var in graph.variables.values():
+        share = var.total_bytes / var.tile_span
+        no_reuse[var.home_tile : var.home_tile + var.tile_span] += share
+
+    slots = [
+        MemorySlot(
+            index=s.index,
+            home_tile=s.home_tile,
+            tile_span=s.tile_span,
+            nbytes=s.nbytes,
+            n_elements=s.n_elements,
+            members=tuple(s.members),
+            pinned=s.pinned,
+        )
+        for s in open_slots
+    ]
+    return MemoryPlan(
+        slots=slots,
+        assignment=assignment,
+        per_tile_bytes=per_tile,
+        no_reuse_per_tile_bytes=no_reuse,
+    )

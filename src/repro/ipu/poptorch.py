@@ -619,6 +619,10 @@ class IPUModule:
     batch: int
     spec: IPUSpec = GC200
     host_io: bool = False
+    #: Compile with the liveness-driven memory planner: staging buffers
+    #: with disjoint live ranges share tile memory (see
+    #: :mod:`repro.ipu.memplan`).
+    plan_memory: bool = False
 
     def __post_init__(self) -> None:
         self._graph, self.param_bytes = lower_model(
@@ -635,7 +639,10 @@ class IPUModule:
         """Compile (memoised) and return the compiled graph."""
         if self._compiled is None:
             self._compiled = compile_graph(
-                self._graph, self.spec, check_fit=check_fit
+                self._graph,
+                self.spec,
+                check_fit=check_fit,
+                plan_memory=self.plan_memory,
             )
         return self._compiled
 

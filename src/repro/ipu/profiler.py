@@ -34,9 +34,17 @@ class ProfilePoint:
     profile: GraphProfile
 
 
-def profile_graph(graph: Graph, spec: IPUSpec) -> GraphProfile:
-    """Compile without fit enforcement and return the Fig 5 quantities."""
-    compiled: CompiledGraph = compile_graph(graph, spec, check_fit=False)
+def profile_graph(
+    graph: Graph, spec: IPUSpec, plan_memory: bool = False
+) -> GraphProfile:
+    """Compile without fit enforcement and return the Fig 5 quantities.
+
+    ``plan_memory=True`` profiles the liveness-planned footprint; the
+    profile then carries both the planned and no-reuse peaks.
+    """
+    compiled: CompiledGraph = compile_graph(
+        graph, spec, check_fit=False, plan_memory=plan_memory
+    )
     return compiled.profile()
 
 
@@ -45,6 +53,7 @@ def sweep_profiles(
     sizes: list[int],
     builder: Callable[[IPUSpec, int], Graph],
     label: str = "",
+    plan_memory: bool = False,
 ) -> list[ProfilePoint]:
     """Profile ``builder(spec, size)`` graphs across *sizes*."""
     points = []
@@ -54,23 +63,30 @@ def sweep_profiles(
             ProfilePoint(
                 label=label or graph.name,
                 size=size,
-                profile=profile_graph(graph, spec),
+                profile=profile_graph(graph, spec, plan_memory=plan_memory),
             )
         )
     return points
 
 
 def render_profile_table(points: list[ProfilePoint]) -> str:
-    """Text table of a profile sweep (the Fig 5 series)."""
+    """Text table of a profile sweep (the Fig 5 series).
+
+    Planned profiles grow two columns: the planned per-tile peak and the
+    fraction of the no-reuse peak the planner reclaimed.
+    """
+    planned = any(p.profile.planned for p in points)
     header = (
         f"{'size':>8} {'vars':>7} {'vertices':>9} {'edges':>9} "
         f"{'compute sets':>13} {'data':>12} {'total mem':>12} "
         f"{'free mem':>12} {'fits':>5}"
     )
+    if planned:
+        header += f" {'planned peak':>13} {'reclaimed':>10}"
     lines = [header, "-" * len(header)]
     for p in points:
         pr = p.profile
-        lines.append(
+        line = (
             f"{p.size:>8} {pr.n_variables:>7} {pr.n_vertices:>9} "
             f"{pr.n_edges:>9} {pr.n_compute_sets:>13} "
             f"{format_bytes(pr.variable_bytes):>12} "
@@ -78,4 +94,10 @@ def render_profile_table(points: list[ProfilePoint]) -> str:
             f"{format_bytes(pr.free_bytes):>12} "
             f"{'yes' if pr.fits else 'NO':>5}"
         )
+        if planned:
+            line += (
+                f" {format_bytes(pr.peak_tile_bytes):>13} "
+                f"{pr.plan_saving_fraction:>9.1%}"
+            )
+        lines.append(line)
     return "\n".join(lines)

@@ -112,8 +112,24 @@ class CSRMatrix:
         """Per-row nonzero counts, shape ``(m,)``."""
         return np.diff(self.indptr)
 
-    def storage_bytes(self, value_bytes: int = 4, index_bytes: int = 4) -> int:
-        """Storage footprint of the format (values + indices + indptr)."""
+    def storage_bytes(
+        self,
+        value_bytes: int | None = None,
+        index_bytes: int | None = None,
+    ) -> int:
+        """Storage footprint of the format (values + indices + indptr).
+
+        Defaults to the widths this object *actually stores* (float64
+        values, int64 indices — numpy's natural dtypes), so the default
+        answer is honest about host memory.  Device simulators modelling
+        narrower on-device formats (e.g. fp32 values with int32 column
+        indices, as cuSPARSE/PopSparse use) must pass the widths they
+        model explicitly.
+        """
+        if value_bytes is None:
+            value_bytes = int(self.data.itemsize)
+        if index_bytes is None:
+            index_bytes = int(self.indices.itemsize)
         return (
             self.nnz * (value_bytes + index_bytes)
             + len(self.indptr) * index_bytes
@@ -214,8 +230,21 @@ class COOMatrix:
         """Number of stored entries (duplicates counted individually)."""
         return int(len(self.data))
 
-    def storage_bytes(self, value_bytes: int = 4, index_bytes: int = 4) -> int:
-        """Storage footprint of the format (values + both index arrays)."""
+    def storage_bytes(
+        self,
+        value_bytes: int | None = None,
+        index_bytes: int | None = None,
+    ) -> int:
+        """Storage footprint of the format (values + both index arrays).
+
+        As with :meth:`CSRMatrix.storage_bytes`, defaults reflect the
+        stored dtypes (float64 values, int64 row/col indices); device
+        simulators pass the narrower widths they model.
+        """
+        if value_bytes is None:
+            value_bytes = int(self.data.itemsize)
+        if index_bytes is None:
+            index_bytes = int(self.row.itemsize)
         return self.nnz * (value_bytes + 2 * index_bytes)
 
     def sum_duplicates(self) -> "COOMatrix":

@@ -127,14 +127,18 @@ class SGD(Optimizer):
             if self.weight_decay:
                 g = g + self.weight_decay * p.data
             if self.momentum:
+                grad = g
                 if self._velocity[i] is None:
                     self._velocity[i] = g.copy()
                 else:
                     self._velocity[i] *= self.momentum
                     self._velocity[i] += g
-                g = self._velocity[i]
                 if self.nesterov:
-                    g = g + self.momentum * self._velocity[i]
+                    # PyTorch nesterov: update with g + mu * v, where v
+                    # is the freshly updated buffer — not (1 + mu) * v.
+                    g = grad + self.momentum * self._velocity[i]
+                else:
+                    g = self._velocity[i]
             p.data -= self.lr * g
 
     def _slots(self) -> dict[str, list]:

@@ -77,7 +77,7 @@ def memory_section(memory) -> dict:
     hist = Histogram(edges=DEFAULT_BYTES_EDGES)
     hist.observe_many(float(b) for b in memory.per_tile_bytes)
     b = memory.breakdown
-    return {
+    section = {
         "n_tiles": int(len(memory.per_tile_bytes)),
         "usable_tile_bytes": float(memory.spec.usable_tile_memory),
         "total_bytes": float(memory.total_bytes),
@@ -94,6 +94,19 @@ def memory_section(memory) -> dict:
         },
         "per_tile_histogram": hist.snapshot_value(),
     }
+    if getattr(memory, "planned", False):
+        # Planned compiles carry the no-reuse comparison so the
+        # reclaimed headroom is readable straight off the manifest.
+        section["planned"] = True
+        section["peak_planned_bytes"] = float(memory.peak_planned_bytes)
+        section["no_reuse_peak_tile_bytes"] = float(
+            memory.no_reuse_peak_tile_bytes
+        )
+        section["plan_saving_bytes"] = float(memory.plan_saving_bytes)
+        section["plan_saving_fraction"] = float(
+            memory.plan_saving_fraction
+        )
+    return section
 
 
 def cache_section(cache) -> dict:
@@ -303,6 +316,14 @@ def render_report(manifest: dict) -> str:
             f"peak tile: {format_bytes(mem['peak_tile_bytes'])}  "
             f"free: {format_bytes(mem['free_bytes'])}"
         )
+        if mem.get("planned"):
+            lines.append(
+                f"  planned peak: "
+                f"{format_bytes(mem['peak_planned_bytes'])}  "
+                f"no-reuse peak: "
+                f"{format_bytes(mem['no_reuse_peak_tile_bytes'])}  "
+                f"reclaimed: {mem['plan_saving_fraction']:.0%}"
+            )
         for key, nbytes in mem["breakdown"].items():
             lines.append(f"    {key:<18s} {format_bytes(nbytes):>12s}")
         hist = mem["per_tile_histogram"]
@@ -364,18 +385,23 @@ def smoke_manifest(size: int = 256, seed: int = 0) -> dict:
     Compiles a poplin matmul graph twice under a fresh in-memory
     compilation cache (the second compile is a guaranteed cache hit, so
     the manifest's ``cache`` section always shows ``hits >= 1`` — CI
-    asserts this), runs liveness analysis and a BSP time estimate under
-    a fresh tracer + registry.  Every gateable metric is simulated
-    (cost-model) output, so two runs on any machine produce identical
-    ``metrics`` sections — this is what CI diffs against
+    asserts this), compiles a small MLP forward graph with the memory
+    planner (so the baseline carries ``compile.peak_planned_bytes`` and
+    a nonzero ``compile.plan_reuse_fraction`` — CI gates the planned
+    peak against increases), runs liveness analysis and a BSP time
+    estimate under a fresh tracer + registry.  Every gateable metric is
+    simulated (cost-model) output, so two runs on any machine produce
+    identical ``metrics`` sections — this is what CI diffs against
     ``benchmarks/baselines/smoke.json``.
     """
+    from repro import nn
     from repro.cache import caching
     from repro.ipu.compiler import compile_graph
     from repro.ipu.executor import Executor
     from repro.ipu.liveness import compute_liveness
     from repro.ipu.machine import GC200
     from repro.ipu.poplin import build_matmul_graph
+    from repro.ipu.poptorch import IPUModule
     from repro.obs.metrics import collecting
     from repro.obs.tracer import tracing
 
@@ -385,11 +411,25 @@ def smoke_manifest(size: int = 256, seed: int = 0) -> dict:
         compile_graph(graph, GC200, check_fit=False)  # cache hit
         liveness = compute_liveness(graph)
         Executor(compiled).estimate()
+        mlp = nn.Sequential(
+            *[
+                m
+                for i in range(4)
+                for m in (
+                    nn.Linear(size // 2, size // 2, seed=i),
+                    nn.ReLU(),
+                )
+            ]
+        )
+        module = IPUModule(mlp, size // 2, size // 2, spec=GC200)
+        planned = compile_graph(
+            module.graph, GC200, check_fit=False, plan_memory=True
+        )
     return build_manifest(
         "smoke",
         registry=registry,
         tracer=tracer,
-        memory=compiled.memory,
+        memory=planned.memory,
         liveness=liveness,
         cache=cache,
         config={"size": size, "spec": GC200.name},

@@ -1,5 +1,6 @@
 """Tests for the liveness analysis."""
 
+import numpy as np
 import pytest
 
 from repro import nn
@@ -101,6 +102,92 @@ class TestIntervals:
         assert iv.length == 4
         assert iv.live_at(3)
         assert not iv.live_at(6)
+
+
+def use_before_def_graph(elements=100):
+    """y is read at step 0 but first written at step 1."""
+    g = Graph(GC200.n_tiles)
+    g.add_variable("y", (elements,))
+    g.add_variable("a", (elements,))
+    cs0 = g.add_compute_set("read_y")
+    g.add_vertex(
+        cs0,
+        Vertex(
+            codelet="Copy",
+            tile=0,
+            inputs=[Edge("y", elements)],
+            outputs=[Edge("a", elements)],
+        ),
+    )
+    cs1 = g.add_compute_set("write_y")
+    g.add_vertex(
+        cs1,
+        Vertex(
+            codelet="Copy",
+            tile=0,
+            inputs=[Edge("a", elements)],
+            outputs=[Edge("y", elements)],
+        ),
+    )
+    return g
+
+
+class TestUseBeforeDef:
+    """Regression: a variable read before its first in-program def holds
+    external data, so its interval must start at step 0 — not at the
+    first def, which used to let the planner alias away live bytes."""
+
+    def test_interval_starts_at_program_start(self):
+        report = compute_liveness(use_before_def_graph())
+        by_var = {iv.var: iv for iv in report.intervals}
+        assert by_var["y"].start == 0
+        assert by_var["y"].end == 1
+
+    def test_flagged_upward_exposed(self):
+        report = compute_liveness(use_before_def_graph())
+        by_var = {iv.var: iv for iv in report.intervals}
+        assert by_var["y"].upward_exposed
+        assert not by_var["y"].def_before_use
+        # A normally-defined temp keeps the safe flags.
+        assert not by_var["a"].upward_exposed
+        assert by_var["a"].def_before_use
+
+    def test_footprint_counted_from_start(self):
+        report = compute_liveness(use_before_def_graph(elements=100))
+        # Step 0 must already charge y (400) alongside a (400).
+        assert report.per_step_bytes[0] == pytest.approx(800)
+
+    def test_write_then_read_is_not_upward_exposed(self):
+        report = compute_liveness(chain_graph(2))
+        by_var = {iv.var: iv for iv in report.intervals}
+        assert all(not iv.upward_exposed for iv in by_var.values())
+
+
+class TestPerTilePeaks:
+    def test_disjoint_layouts_get_disjoint_peaks(self):
+        g = Graph(4)
+        g.add_variable("a", (100,), home_tile=0, tile_span=2)
+        g.add_variable("b", (200,), home_tile=2, tile_span=2)
+        report = compute_liveness(g)
+        assert report.per_tile_peak_bytes == pytest.approx(
+            [200.0, 200.0, 400.0, 400.0]
+        )
+
+    def test_spread_variables_share_evenly(self):
+        report = compute_liveness(chain_graph(4))
+        # Default layout spreads every variable over all tiles, so the
+        # per-tile peak is the global peak split evenly.
+        assert report.peak_tile_bytes == pytest.approx(
+            report.peak_bytes / GC200.n_tiles
+        )
+
+    def test_peak_tile_bytes_zero_without_grid(self):
+        from repro.ipu.liveness import LivenessReport
+
+        report = LivenessReport(
+            intervals=[], per_step_bytes=np.zeros(0), always_live_bytes=0
+        )
+        assert report.peak_tile_bytes == 0.0
 
 
 class TestOnLoweredModels:

@@ -125,7 +125,13 @@ class TestConversions:
 
     def test_storage_bytes(self, rng):
         coo = COOMatrix.from_dense(dense_fixture(rng))
-        assert coo.storage_bytes() == coo.nnz * 12
+        # Default: the stored dtypes (float64 data + two int64 indices).
+        assert coo.storage_bytes() == coo.nnz * (8 + 2 * 8)
+        # Device simulators pass the widths they model (fp32 + int32).
+        assert (
+            coo.storage_bytes(value_bytes=4, index_bytes=4)
+            == coo.nnz * 12
+        )
 
     def test_random_sparse_coo(self):
         coo = random_sparse(20, 30, 0.1, seed=1, fmt="coo")

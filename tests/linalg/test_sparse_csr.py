@@ -132,8 +132,14 @@ class TestOperations:
 
     def test_storage_bytes(self, rng):
         csr = CSRMatrix.from_dense(dense_fixture(rng))
-        expected = csr.nnz * 8 + (csr.shape[0] + 1) * 4
+        # Default: the stored dtypes (float64 data + int64 indices).
+        expected = csr.nnz * (8 + 8) + (csr.shape[0] + 1) * 8
         assert csr.storage_bytes() == expected
+        # Device simulators pass the widths they model (fp32 + int32).
+        device = csr.nnz * (4 + 4) + (csr.shape[0] + 1) * 4
+        assert (
+            csr.storage_bytes(value_bytes=4, index_bytes=4) == device
+        )
 
 
 class TestRandomSparse:
