@@ -6,6 +6,8 @@ Usage::
     python -m repro list                 # available artefacts
     python -m repro table1 fig3 ...      # regenerate specific artefacts
     python -m repro all [--full]         # everything (opt. paper-scale)
+    python -m repro fig5 --jobs 4 --cell-timeout 60 --retries 2 --resume
+                                         # supervised grid (repro.guard)
     python -m repro trace fig6           # run one artefact under the tracer
     python -m repro chaos --seed 0       # fault-injection suite
     python -m repro report run.json      # render a repro.run/1 manifest
@@ -27,8 +29,10 @@ import sys
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import guard as guardmod
 from repro import obs
 from repro.cache import NULL_CACHE, CompilationCache, caching
+from repro.guard import GuardPolicy
 from repro.experiments import (
     ablation,
     fig3,
@@ -46,10 +50,16 @@ from repro.experiments import (
 
 @dataclass(frozen=True)
 class RunOptions:
-    """How an artefact run was requested: budget and parallelism."""
+    """How an artefact run was requested: budget, parallelism, supervision.
+
+    ``guard`` is ``None`` unless any supervision flag
+    (``--cell-timeout``/``--retries``/``--resume``/``--strict``) was
+    passed; grid-backed renderers forward it to ``run_grid``.
+    """
 
     full: bool = False
     jobs: int = 1
+    guard: GuardPolicy | None = None
 
 
 @dataclass(frozen=True)
@@ -68,20 +78,20 @@ class Artefact:
 
 def _render_table2(o: RunOptions) -> str:
     if o.full:
-        return table2.render(jobs=o.jobs)
-    return table2.render(sizes=[1024], jobs=o.jobs)
+        return table2.render(jobs=o.jobs, guard=o.guard)
+    return table2.render(sizes=[1024], jobs=o.jobs, guard=o.guard)
 
 
 def _render_fig6(o: RunOptions) -> str:
     if o.full:
-        return fig6.render(jobs=o.jobs)
-    return fig6.render(sizes=[128, 512, 2048], jobs=o.jobs)
+        return fig6.render(jobs=o.jobs, guard=o.guard)
+    return fig6.render(sizes=[128, 512, 2048], jobs=o.jobs, guard=o.guard)
 
 
 def _render_fig7(o: RunOptions) -> str:
     if o.full:
-        return fig7.render(jobs=o.jobs)
-    return fig7.render(sizes=[128, 512, 2048], jobs=o.jobs)
+        return fig7.render(jobs=o.jobs, guard=o.guard)
+    return fig7.render(sizes=[128, 512, 2048], jobs=o.jobs, guard=o.guard)
 
 
 def _render_table4(o: RunOptions) -> str:
@@ -92,7 +102,7 @@ def _render_table4(o: RunOptions) -> str:
 
 def _render_table5(o: RunOptions) -> str:
     if o.full:
-        return table5.render(jobs=o.jobs)
+        return table5.render(jobs=o.jobs, guard=o.guard)
     return table5.render(
         table5.run(
             grid=[(2, 8, 2), (2, 8, 64), (16, 8, 2), (16, 32, 2)],
@@ -100,6 +110,7 @@ def _render_table5(o: RunOptions) -> str:
             n_train=400,
             n_test=200,
             jobs=o.jobs,
+            guard=o.guard,
         )
     )
 
@@ -122,7 +133,7 @@ ARTEFACTS: dict[str, Artefact] = {
         "skewed matmul, GPU vs IPU",
     ),
     "fig5": Artefact(
-        lambda o: fig5.render(jobs=o.jobs),
+        lambda o: fig5.render(jobs=o.jobs, guard=o.guard),
         "IPU graph/memory growth with problem size",
     ),
     "fig6": Artefact(
@@ -204,6 +215,83 @@ def _make_cache(args: argparse.Namespace) -> CompilationCache:
     return CompilationCache(path=cache_dir)
 
 
+def _default_journal_dir() -> pathlib.Path:
+    """``benchmarks/journal`` in a source checkout, else the working dir."""
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    candidate = repo_root / "benchmarks" / "journal"
+    if candidate.parent.is_dir():
+        return candidate
+    return pathlib.Path("benchmarks/journal")
+
+
+def _add_guard_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "supervised execution",
+        "passing any of these wraps grid experiments in repro.guard: "
+        "per-cell deadlines, seeded retries, quarantine and a resumable "
+        "completion journal (docs/RESILIENCE.md, 'Supervised grids')",
+    )
+    group.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget per grid cell attempt; hung workers are "
+        "killed and retried",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help="transient-failure retries per cell before quarantine "
+        "(default 2 when supervision is active)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already present in the journal (bit-identical "
+        "to an uninterrupted run)",
+    )
+    group.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise after the grid completes if any cell failed, "
+        "instead of quarantining",
+    )
+    group.add_argument(
+        "--journal",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="completion-journal directory "
+        "(default: benchmarks/journal when supervision is active)",
+    )
+
+
+def _make_guard(args: argparse.Namespace) -> GuardPolicy | None:
+    """A :class:`GuardPolicy` when any supervision flag was passed."""
+    active = (
+        args.cell_timeout is not None
+        or args.retries is not None
+        or args.resume
+        or args.strict
+        or args.journal is not None
+    )
+    if not active:
+        return None
+    journal_dir = (
+        args.journal if args.journal is not None else _default_journal_dir()
+    )
+    return GuardPolicy(
+        cell_timeout_s=args.cell_timeout,
+        retries=args.retries if args.retries is not None else 2,
+        strict=args.strict,
+        journal_dir=journal_dir,
+        resume=args.resume,
+    )
+
+
 # -- subcommands ---------------------------------------------------------------
 
 
@@ -230,9 +318,14 @@ def run_main(argv: list[str]) -> int:
         help="also write NAME.txt and a repro.run/1 NAME.json manifest",
     )
     _add_cache_flags(parser)
+    _add_guard_flags(parser)
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        guard = _make_guard(args)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     if args.artefacts == ["list"]:
         return list_main([])
@@ -249,14 +342,15 @@ def run_main(argv: list[str]) -> int:
 
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
-    opts = RunOptions(full=args.full, jobs=args.jobs)
+    opts = RunOptions(full=args.full, jobs=args.jobs, guard=guard)
+    exit_code = 0
     for name in names:
         # A fresh cache per artefact (sharing one disk directory) keeps
         # each manifest's cache section scoped to that artefact's run.
         cache = _make_cache(args)
         if args.out:
             with obs.tracing() as tracer, obs.collecting() as registry, \
-                    caching(cache):
+                    caching(cache), guardmod.reporting() as reports:
                 text = ARTEFACTS[name].render(opts)
             manifest = obs.build_manifest(
                 name,
@@ -268,16 +362,23 @@ def run_main(argv: list[str]) -> int:
                     "full": args.full,
                     "jobs": args.jobs,
                 },
+                guard=reports,
             )
             obs.write_manifest(manifest, args.out / f"{name}.json")
         else:
-            with caching(cache):
+            with caching(cache), guardmod.reporting() as reports:
                 text = ARTEFACTS[name].render(opts)
         print(text)
         print()
+        for report in reports:
+            if report.journal_hits or not report.ok or report.pool_rebuilds:
+                print(report.render())
+                print()
+            if not report.ok:
+                exit_code = 1
         if args.out:
             (args.out / f"{name}.txt").write_text(text + "\n")
-    return 0
+    return exit_code
 
 
 def list_main(argv: list[str]) -> int:
@@ -362,11 +463,23 @@ def chaos_main(argv: list[str]) -> int:
         default=None,
         help="also write DIR/chaos.txt",
     )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="SCENARIO",
+        help="run one scenario only: executor, kill-resume, guard, "
+        "or tile-sweep (default: all)",
+    )
     args = parser.parse_args(argv)
     # Imported lazily: the chaos harness pulls in the experiment configs.
-    from repro.faults.chaos import run_chaos
+    from repro.faults.chaos import SCENARIOS, run_chaos
 
-    text, ok = run_chaos(seed=args.seed, smoke=args.smoke)
+    if args.only is not None and args.only not in SCENARIOS:
+        parser.error(
+            f"unknown scenario {args.only!r}; choose from "
+            f"{', '.join(SCENARIOS)}"
+        )
+    text, ok = run_chaos(seed=args.seed, smoke=args.smoke, only=args.only)
     print(text)
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)

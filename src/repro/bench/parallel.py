@@ -15,9 +15,19 @@ serial run:
   merged into the parent in that same order.
 * **Crash surfacing** — an exception inside a worker is returned as a
   pickled traceback string and re-raised in the parent as
-  :class:`WorkerError` naming the config; a worker process dying
-  outright (``BrokenProcessPool``) is wrapped the same way instead of
-  surfacing as an opaque pool error.
+  :class:`WorkerError`; a worker process dying outright
+  (``BrokenProcessPool``) is wrapped the same way instead of surfacing
+  as an opaque pool error.  Every outcome is collected before raising:
+  the exception names *all* failing configs and carries the completed
+  results (``exc.failures`` / ``exc.results``), so one bad cell no
+  longer discards its siblings' work.
+* **Supervision** — passing a :class:`~repro.guard.GuardPolicy` via
+  ``guard=`` swaps the shared pool for :mod:`repro.guard`'s supervised
+  process-per-cell runner: per-cell deadlines, seeded retry/backoff for
+  transient failures, quarantine of poisoned configs, and a resumable
+  completion journal.  Under guard, failed cells yield ``None`` in the
+  result list (or, with ``strict=True``, a :class:`WorkerError` after
+  the grid has been driven to completion).
 * **Caching** — workers open the same on-disk
   :class:`~repro.cache.CompilationCache` directory (safe: entry writes
   are atomic per-process temp files + rename), so one worker's compile
@@ -42,20 +52,43 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.cache import CompilationCache, caching, get_cache
+from repro.guard.policy import GuardPolicy
+from repro.guard.supervisor import run_supervised_grid
 from repro.obs.metrics import MetricRegistry, collecting, get_registry
 
 __all__ = ["WorkerError", "run_grid"]
 
 
 class WorkerError(RuntimeError):
-    """A worker process failed; carries the config and remote traceback."""
+    """One or more worker processes failed.
 
-    def __init__(self, config: Any, detail: str) -> None:
-        super().__init__(
-            f"worker failed for config {config!r}:\n{detail}"
-        )
+    ``config``/``detail`` describe the *first* failure (in config
+    order); ``failures`` lists every ``(config, detail)`` pair and
+    ``results`` holds the grid's completed results in config order with
+    ``None`` for the cells that failed — a single bad cell no longer
+    costs the caller every finished sibling.
+    """
+
+    def __init__(
+        self,
+        config: Any,
+        detail: str,
+        *,
+        failures: list[tuple[Any, str]] | None = None,
+        results: list[Any] | None = None,
+    ) -> None:
         self.config = config
         self.detail = detail
+        self.failures = failures if failures is not None else [(config, detail)]
+        self.results = results if results is not None else []
+        message = f"worker failed for config {config!r}:\n{detail}"
+        if len(self.failures) > 1:
+            others = ", ".join(repr(c) for c, _ in self.failures[1:])
+            message += (
+                f"\n(+ {len(self.failures) - 1} more failed "
+                f"config(s): {others})"
+            )
+        super().__init__(message)
 
 
 def _run_in_worker(
@@ -93,6 +126,8 @@ def run_grid(
     seed: int = 0,
     cache_dir: str | Path | None = None,
     registry: MetricRegistry | None = None,
+    guard: GuardPolicy | None = None,
+    name: str | None = None,
 ) -> list[Any]:
     """Run ``worker(config, seed_seq)`` for every config; ordered results.
 
@@ -108,10 +143,48 @@ def run_grid(
     Worker metric snapshots merge into *registry* (default: the global
     one) and worker cache stats merge into the parent's global cache, in
     config order.
+
+    With *guard* set, execution is delegated to
+    :func:`repro.guard.run_supervised_grid` (even at ``jobs=1`` — the
+    watchdog and journal need a subprocess): cells that fail permanently
+    or exhaust their retries come back as ``None``, unless
+    ``guard.strict`` is set, in which case a :class:`WorkerError` naming
+    every failed cell is raised after the grid completes.  *name* labels
+    the resulting :class:`~repro.guard.GridReport`.
+
+    Without *guard*, an error in any worker raises :class:`WorkerError`
+    — but only after every outcome has been collected, so the exception
+    carries all failures and the completed results (see
+    :class:`WorkerError`).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     configs = list(configs)
+
+    if guard is not None:
+        results, report = run_supervised_grid(
+            worker,
+            configs,
+            policy=guard,
+            jobs=jobs,
+            seed=seed,
+            cache_dir=cache_dir,
+            registry=registry,
+            name=name,
+        )
+        if guard.strict and not report.ok:
+            failures = [
+                (configs[cell.index], cell.error or cell.status)
+                for cell in report.failed_cells()
+            ]
+            raise WorkerError(
+                failures[0][0],
+                failures[0][1],
+                failures=failures,
+                results=results,
+            )
+        return results
+
     seed_seqs = np.random.SeedSequence(seed).spawn(len(configs))
     if jobs == 1:
         return [
@@ -124,34 +197,48 @@ def run_grid(
     if cache_dir is None and parent_cache.enabled:
         cache_dir = parent_cache.path
     cache_dir = str(cache_dir) if cache_dir is not None else None
-    outcomes: list[tuple] = []
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(configs)) or 1,
-            mp_context=get_context("spawn"),
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _run_in_worker, worker, config, seed_seq, cache_dir
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(configs)) or 1,
+        mp_context=get_context("spawn"),
+    ) as pool:
+        futures = [
+            pool.submit(_run_in_worker, worker, config, seed_seq, cache_dir)
+            for config, seed_seq in zip(configs, seed_seqs)
+        ]
+        # Collect every outcome before judging any: a broken pool fails
+        # the still-pending futures, not the ones that already finished.
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except BrokenProcessPool as exc:
+                outcomes.append(
+                    (
+                        "error",
+                        f"a worker process died abruptly ({exc})",
+                        [],
+                        {},
+                    )
                 )
-                for config, seed_seq in zip(configs, seed_seqs)
-            ]
-            outcomes = [f.result() for f in futures]
-    except BrokenProcessPool as exc:
-        raise WorkerError(
-            "<unknown>",
-            f"a worker process died abruptly ({exc}); "
-            "results for this grid are incomplete",
-        ) from exc
 
-    results = []
+    results: list[Any] = []
+    failures: list[tuple[Any, str]] = []
     for config, (status, payload, metrics, cache_stats) in zip(
         configs, outcomes
     ):
         if status == "error":
-            raise WorkerError(config, payload)
+            failures.append((config, payload))
+            results.append(None)
+            continue
         registry.merge_snapshot(metrics)
         if parent_cache.enabled:  # never mutate the NULL_CACHE singleton
             parent_cache.stats.merge(cache_stats)
         results.append(payload)
+    if failures:
+        raise WorkerError(
+            failures[0][0],
+            failures[0][1],
+            failures=failures,
+            results=results,
+        )
     return results

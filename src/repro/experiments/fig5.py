@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bench.parallel import run_grid
+from repro.guard import GuardPolicy
 from repro.bench.reporting import Table
 from repro.ipu.compiler import GraphProfile, cached_compile, compile_graph
 from repro.ipu.executor import Executor
@@ -155,12 +156,20 @@ def planner_run(
     dim: int = 2048,
     batch: int = 2048,
     jobs: int = 1,
+    guard: GuardPolicy | None = None,
 ) -> list[PlannerRow]:
-    """The planner headroom series: deep MLPs with/without buffer reuse."""
+    """The planner headroom series: deep MLPs with/without buffer reuse.
+
+    Under a non-strict *guard*, quarantined depths are dropped from the
+    returned rows (the grid completes without them).
+    """
     configs = [
         (spec, depth, dim, batch) for depth in (depths or planner_depths())
     ]
-    return run_grid(_planner_one, configs, jobs=jobs)
+    rows = run_grid(
+        _planner_one, configs, jobs=jobs, guard=guard, name="fig5.planner"
+    )
+    return [row for row in rows if row is not None]
 
 
 def verify_planner_numerics(
@@ -203,13 +212,19 @@ def run(
     spec: IPUSpec = GC200,
     sizes: list[int] | None = None,
     jobs: int = 1,
+    guard: GuardPolicy | None = None,
 ) -> list[Fig5Row]:
     """Compile a poplin matmul per size and collect profiles."""
     configs = [(spec, n) for n in (sizes or default_sizes())]
-    return run_grid(_profile_one, configs, jobs=jobs)
+    rows = run_grid(
+        _profile_one, configs, jobs=jobs, guard=guard, name="fig5"
+    )
+    return [row for row in rows if row is not None]
 
 
-def render(spec: IPUSpec = GC200, jobs: int = 1) -> str:
+def render(
+    spec: IPUSpec = GC200, jobs: int = 1, guard: GuardPolicy | None = None
+) -> str:
     """Text rendering of the Fig 5 series."""
     table = Table(
         title=(
@@ -227,7 +242,7 @@ def render(spec: IPUSpec = GC200, jobs: int = 1) -> str:
             "overhead x",
         ],
     )
-    for row in run(spec, jobs=jobs):
+    for row in run(spec, jobs=jobs, guard=guard):
         p = row.profile
         table.add_row(
             row.n,
@@ -248,6 +263,7 @@ def render_planner(
     jobs: int = 1,
     verify: bool = True,
     rows: list[PlannerRow] | None = None,
+    guard: GuardPolicy | None = None,
 ) -> str:
     """Text rendering of the planner headroom series."""
     table = Table(
@@ -265,7 +281,7 @@ def render_planner(
         ],
     )
     if rows is None:
-        rows = planner_run(spec, jobs=jobs)
+        rows = planner_run(spec, jobs=jobs, guard=guard)
     for row in rows:
         table.add_row(
             row.depth,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro import nn
 from repro.bench.parallel import run_grid
+from repro.guard import GuardPolicy
 from repro.bench.reporting import Table
 from repro.gpu.machine import A30, GPUSpec
 from repro.gpu.torchsim import GPUModule
@@ -119,6 +120,7 @@ def run(
     gpu: GPUSpec = A30,
     ipu: IPUSpec = GC200,
     jobs: int = 1,
+    guard: GuardPolicy | None = None,
 ) -> list[Fig6Row]:
     """All three panels across the size sweep."""
     configs = [
@@ -126,7 +128,10 @@ def run(
         for device in devices
         for n in sizes or default_sizes()
     ]
-    return run_grid(_layer_times_worker, configs, jobs=jobs)
+    rows = run_grid(
+        _layer_times_worker, configs, jobs=jobs, guard=guard, name="fig6"
+    )
+    return [row for row in rows if row is not None]
 
 
 @dataclass(frozen=True)
@@ -257,9 +262,13 @@ def render_memory_limits(limits: list[MemoryLimitRow] | None = None) -> str:
     return table.render()
 
 
-def render(sizes: list[int] | None = None, jobs: int = 1) -> str:
+def render(
+    sizes: list[int] | None = None,
+    jobs: int = 1,
+    guard: GuardPolicy | None = None,
+) -> str:
     """Text rendering of the three Fig 6 panels."""
-    rows = run(sizes, jobs=jobs)
+    rows = run(sizes, jobs=jobs, guard=guard)
     out = []
     for device, label in [
         ("gpu_notc", "GPU, tensor cores OFF"),

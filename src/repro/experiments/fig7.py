@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro import nn
 from repro.bench.parallel import run_grid
+from repro.guard import GuardPolicy
 from repro.bench.reporting import Table
 from repro.experiments.fig6 import FIG6_PIXELFLY
 from repro.ipu.compiler import GraphProfile, compile_graph
@@ -81,17 +82,21 @@ def run(
     spec: IPUSpec = GC200,
     sizes: list[int] | None = None,
     jobs: int = 1,
+    guard: GuardPolicy | None = None,
 ) -> list[Fig7Row]:
     """Compile the three layer graphs per size and profile them."""
     configs = [(spec, n) for n in (sizes or default_sizes())]
-    per_size = run_grid(_profile_size, configs, jobs=jobs)
-    return [row for rows in per_size for row in rows]
+    per_size = run_grid(
+        _profile_size, configs, jobs=jobs, guard=guard, name="fig7"
+    )
+    return [row for rows in per_size if rows is not None for row in rows]
 
 
 def render(
     spec: IPUSpec = GC200,
     sizes: list[int] | None = None,
     jobs: int = 1,
+    guard: GuardPolicy | None = None,
 ) -> str:
     """Text rendering of the Fig 7 sweep."""
     table = Table(
@@ -113,7 +118,7 @@ def render(
             "reclaimed",
         ],
     )
-    for row in run(spec, sizes, jobs=jobs):
+    for row in run(spec, sizes, jobs=jobs, guard=guard):
         p = row.profile
         planned = row.planned
         table.add_row(

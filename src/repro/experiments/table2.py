@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.bench.flops import dense_equivalent, gflops
 from repro.bench.parallel import run_grid
+from repro.guard import GuardPolicy
 from repro.bench.reporting import Table
 from repro.gpu.machine import A30, GPUSpec
 from repro.gpu.simulator import GPUDevice
@@ -110,6 +111,7 @@ def run(
     sparse_size: int = 2048,
     seed: int = 0,
     jobs: int = 1,
+    guard: GuardPolicy | None = None,
 ) -> Table2Result:
     """Evaluate every Table 2 column; returns best-over-sizes GFLOP/s."""
     sizes = sizes or default_sizes()
@@ -119,9 +121,13 @@ def run(
         _dense_columns_for_size,
         [(gpu, ipu, n) for n in sizes],
         jobs=jobs,
+        guard=guard,
+        name="table2",
     )
     dense: dict[str, list[float]] = {}
     for columns in per_size:
+        if columns is None:
+            continue
         for name, value in columns.items():
             dense.setdefault(name, []).append(value)
 
@@ -148,9 +154,10 @@ def render(
     ipu: IPUSpec = GC200,
     sizes: list[int] | None = None,
     jobs: int = 1,
+    guard: GuardPolicy | None = None,
 ) -> str:
     """Text rendering of the Table 2 reproduction."""
-    result = run(gpu, ipu, sizes, jobs=jobs)
+    result = run(gpu, ipu, sizes, jobs=jobs, guard=guard)
     table = Table(
         title=(
             "Table 2: dense vs sparse matmul, GPU vs IPU (GFLOP/s; sparse "

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import nn
 from repro.bench.parallel import run_grid
+from repro.guard import GuardPolicy
 from repro.bench.reporting import Table
 from repro.datasets import load_cifar10
 from repro.experiments.config import TABLE3, Table3Hyperparameters
@@ -141,10 +142,11 @@ def run(
     n_test: int = 1000,
     seed: int = 0,
     jobs: int = 1,
+    guard: GuardPolicy | None = None,
 ) -> list[SweepPoint]:
     """Evaluate the whole grid (short training budget per point)."""
     grid = grid or default_grid()
-    if jobs == 1:
+    if jobs == 1 and guard is None:
         # Serial path loads the dataset once and shares it across points.
         train, test = load_cifar10(
             n_train=n_train, n_test=n_test, seed=seed
@@ -157,7 +159,15 @@ def run(
         (bf, bs, r, hp, epochs, n_train, n_test, seed)
         for bf, bs, r in grid
     ]
-    return run_grid(_evaluate_config_worker, configs, jobs=jobs, seed=seed)
+    points = run_grid(
+        _evaluate_config_worker,
+        configs,
+        jobs=jobs,
+        seed=seed,
+        guard=guard,
+        name="table5",
+    )
+    return [point for point in points if point is not None]
 
 
 def _attr(point: SweepPoint, name: str) -> float:
@@ -202,9 +212,13 @@ def summarize(points: list[SweepPoint]) -> list[SweepSummary]:
     return out
 
 
-def render(points: list[SweepPoint] | None = None, jobs: int = 1) -> str:
+def render(
+    points: list[SweepPoint] | None = None,
+    jobs: int = 1,
+    guard: GuardPolicy | None = None,
+) -> str:
     """Text rendering of the Table 5 reproduction."""
-    points = points if points is not None else run(jobs=jobs)
+    points = points if points is not None else run(jobs=jobs, guard=guard)
     summaries = summarize(points)
     table = Table(
         title=(

@@ -22,14 +22,19 @@ why it is *not* re-exported from the package root):
 
 from __future__ import annotations
 
+import os
+import pathlib
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro import obs
+from repro.bench.parallel import run_grid
 from repro.bench.reporting import Table
+from repro.guard import GuardPolicy, TransientError, run_supervised_grid
 from repro.experiments.config import shl_model
 from repro.faults.checkpoint import CheckpointManager
 from repro.faults.injector import (
@@ -63,9 +68,11 @@ __all__ = [
     "chaos_execute",
     "default_plan",
     "kill_resume_check",
+    "guard_grid_check",
     "degraded_tile_sweep",
     "max_dead_tiles",
     "run_chaos",
+    "SCENARIOS",
 ]
 
 
@@ -338,6 +345,170 @@ def kill_resume_check(
     }
 
 
+# -- supervised-grid chaos ----------------------------------------------------
+
+
+def _guard_cell_value(n: int, seed_seq) -> float:
+    """The deterministic result of one chaos-grid cell.
+
+    A pure function of ``(n, seed_seq)`` — the seeded draw proves the
+    cell saw the same spawned stream no matter how many attempts, which
+    worker, or whether it was replayed from the journal.
+    """
+    rng = np.random.default_rng(seed_seq)
+    return float(n) * 10.0 + float(rng.random())
+
+
+def _guard_clean_worker(config, seed_seq) -> float:
+    """The healthy twin of :func:`_guard_grid_worker` (reference runs)."""
+    return _guard_cell_value(config[0], seed_seq)
+
+
+def _guard_grid_worker(config, seed_seq) -> float:
+    """Chaos-grid worker: misbehave once, then compute the honest value.
+
+    ``config`` is ``(n, behaviour, marker_dir)``.  Marker files carry
+    the "already misbehaved" bit across attempts — each attempt runs in
+    a fresh process, so module state cannot:
+
+    * ``kill`` — first attempt dies with ``os._exit`` (no traceback, no
+      exception: the supervisor sees only pipe EOF);
+    * ``hang`` — first attempt sleeps far past any sane deadline;
+    * ``transient`` — first attempt raises :class:`TransientError`;
+    * ``poison`` — every attempt raises ``ValueError`` (permanent);
+    * ``ok`` — never misbehaves.
+    """
+    n, behaviour, marker_dir = config
+    if behaviour == "poison":
+        raise ValueError(f"poisoned config {n}: fails deterministically")
+    if behaviour != "ok":
+        marker = pathlib.Path(marker_dir) / f"{behaviour}-{n}"
+        if not marker.exists():
+            marker.write_text("misbehaved\n")
+            if behaviour == "kill":
+                os._exit(3)
+            if behaviour == "hang":
+                time.sleep(600.0)
+            if behaviour == "transient":
+                raise TransientError(
+                    f"transient blip for config {n} (attempt 1)"
+                )
+    return _guard_cell_value(n, seed_seq)
+
+
+def guard_grid_check(
+    seed: int = 0,
+    cell_timeout_s: float = 5.0,
+    directory: str | None = None,
+    jobs: int = 4,
+) -> dict:
+    """Drive a fig5-shaped grid through worker pathologies and resume it.
+
+    An 8-cell grid runs under supervision with one worker killed
+    mid-cell (``os._exit``), one hung past the deadline, two transient
+    faults and one permanently poisoned config.  Success requires:
+
+    * the grid completes; every cell except the poisoned one produces a
+      result **bit-identical** to a clean serial run of the same cells;
+    * the poisoned cell is quarantined, the hang is a deadline kill, and
+      the ``guard.*`` counters account for every retry/timeout/rebuild;
+    * a second run with ``resume=True`` executes *only* the cell missing
+      from the journal (the quarantined one) — everything else replays
+      from the journal with identical results.
+    """
+    tmp = directory or tempfile.mkdtemp(prefix="repro-chaos-guard-")
+    marker_dir = pathlib.Path(tmp) / "markers"
+    journal_dir = pathlib.Path(tmp) / "journal"
+    marker_dir.mkdir(parents=True, exist_ok=True)
+    behaviours = [
+        "ok", "kill", "transient", "ok", "hang", "transient", "poison", "ok",
+    ]
+    configs = [
+        (n, behaviour, str(marker_dir))
+        for n, behaviour in enumerate(behaviours)
+    ]
+    poison_index = behaviours.index("poison")
+    policy = GuardPolicy(
+        cell_timeout_s=cell_timeout_s,
+        retries=2,
+        backoff_base_s=0.01,
+        backoff_max_s=0.05,
+        seed=seed,
+        journal_dir=journal_dir,
+    )
+    try:
+        with obs.collecting() as registry:
+            results, report = run_supervised_grid(
+                _guard_grid_worker,
+                configs,
+                policy=policy,
+                jobs=jobs,
+                seed=seed,
+                name="chaos.guard",
+            )
+        counters = {
+            entry["name"]: entry["value"]
+            for entry in registry.snapshot()
+            if entry["name"].startswith("guard.")
+        }
+        reference = run_grid(
+            _guard_clean_worker,
+            [(n,) for n in range(len(behaviours))],
+            jobs=1,
+            seed=seed,
+        )
+        survivors_identical = all(
+            results[i] == reference[i]
+            for i in range(len(behaviours))
+            if i != poison_index
+        )
+        accounted = (
+            report.n_quarantined == 1
+            and report.cells[poison_index].status == "quarantined"
+            and report.total_crashes == 1
+            and report.total_timeouts == 1
+            and report.total_retries == 4  # kill + hang + 2 transients
+            and counters.get("guard.retries") == 4
+            and counters.get("guard.timeouts") == 1
+            and counters.get("guard.quarantined") == 1
+            and counters.get("guard.pool_rebuilds") == 2
+        )
+
+        # Resume: only the quarantined cell is missing from the journal.
+        resumed, resumed_report = run_supervised_grid(
+            _guard_grid_worker,
+            configs,
+            policy=GuardPolicy(
+                retries=0, journal_dir=journal_dir, resume=True, seed=seed
+            ),
+            jobs=jobs,
+            seed=seed,
+            name="chaos.guard.resume",
+        )
+        executed = [c.index for c in resumed_report.cells if c.attempts]
+        resume_ok = (
+            resumed_report.journal_hits == len(behaviours) - 1
+            and executed == [poison_index]
+            and all(
+                resumed[i] == results[i]
+                for i in range(len(behaviours))
+                if i != poison_index
+            )
+        )
+    finally:
+        if directory is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "ok": survivors_identical and accounted and resume_ok,
+        "survivors_identical": survivors_identical,
+        "accounted": accounted,
+        "resume_ok": resume_ok,
+        "report": report,
+        "resumed_report": resumed_report,
+        "counters": counters,
+    }
+
+
 # -- degraded-tile sweep ------------------------------------------------------
 
 
@@ -454,119 +625,170 @@ def _chaos_once(
     return result, links, _ipu_timeline(tracer)
 
 
+#: Independently runnable chaos scenarios (``--only`` on the CLI).
+SCENARIOS = ("executor", "kill-resume", "guard", "tile-sweep")
+
+
 def run_chaos(
-    seed: int = 0, smoke: bool = False, dim: int | None = None
+    seed: int = 0,
+    smoke: bool = False,
+    dim: int | None = None,
+    only: str | None = None,
 ) -> tuple[str, bool]:
     """The full chaos suite; returns (rendered report, success flag).
 
     Success requires: every injected fault recovered, the double-run
     replay deterministic (identical fault reports *and* identical
-    simulated-IPU timelines), the kill/resume check bit-identical, and
-    the degraded-tile sweep ranking compressed models above the dense
-    baseline.
+    simulated-IPU timelines), the kill/resume check bit-identical, the
+    supervised-grid check surviving worker kills/hangs/transient faults
+    with bit-identical results and a working resume, and the
+    degraded-tile sweep ranking compressed models above the dense
+    baseline.  *only* restricts the run to one of :data:`SCENARIOS`.
     """
+    if only is not None and only not in SCENARIOS:
+        raise ValueError(
+            f"unknown chaos scenario {only!r}; choose from {SCENARIOS}"
+        )
+
+    def want(scenario: str) -> bool:
+        return only is None or only == scenario
+
     lines: list[str] = []
     ok = True
-
-    model_dim = dim if dim is not None else (256 if smoke else 1024)
-    model = shl_model("Butterfly", dim=model_dim, seed=seed)
     spec = GC200
-    graph, param_bytes = lower_model(
-        model, spec, batch=16 if smoke else 50, in_features=model_dim,
-        host_io=True,
-    )
-    plan = default_plan(seed, graph.program)
 
-    first, links, timeline1 = _chaos_once(graph, spec, plan, param_bytes)
-    second, _, timeline2 = _chaos_once(graph, spec, plan, param_bytes)
+    if want("executor"):
+        model_dim = dim if dim is not None else (256 if smoke else 1024)
+        model = shl_model("Butterfly", dim=model_dim, seed=seed)
+        graph, param_bytes = lower_model(
+            model, spec, batch=16 if smoke else 50, in_features=model_dim,
+            host_io=True,
+        )
+        plan = default_plan(seed, graph.program)
 
-    lines.append(
-        f"chaos run (seed={seed}, butterfly SHL dim={model_dim}, "
-        f"{len(graph.program)} program steps)"
-    )
-    lines.append(str(first.faults))
-    if first.error is not None:
-        ok = False
-        lines.append(f"FAIL: execution did not complete: {first.error}")
-    else:
-        lines.append(
-            f"completed with {first.recompiles} recompile(s); excluded "
-            f"tiles {sorted(first.excluded_tiles)}; "
-            f"retry overhead {format_seconds(first.report.retry_s)} "
-            f"of {format_seconds(first.report.total_s)} total"
-        )
-    if not first.faults.all_recovered:
-        ok = False
-        lines.append("FAIL: unrecovered fault(s) in the ledger")
-    kinds = first.faults.kinds_injected()
-    lines.append(f"fault kinds injected: {', '.join(kinds)}")
-    if len(kinds) < 4:
-        ok = False
-        lines.append(f"FAIL: only {len(kinds)} fault kinds fired (need 4+)")
-    for event, healthy, degraded in links:
-        lines.append(
-            f"link_drop at step {event.step}: all-reduce "
-            f"{format_seconds(healthy)} -> {format_seconds(degraded)} "
-            "over surviving link direction"
-        )
+        first, links, timeline1 = _chaos_once(graph, spec, plan, param_bytes)
+        second, _, timeline2 = _chaos_once(graph, spec, plan, param_bytes)
 
-    replay_ok = (
-        first.faults == second.faults and timeline1 == timeline2
-    )
-    if replay_ok:
         lines.append(
-            "replay determinism: OK (identical fault report and "
-            f"{len(timeline1)}-span simulated timeline)"
+            f"chaos run (seed={seed}, butterfly SHL dim={model_dim}, "
+            f"{len(graph.program)} program steps)"
         )
-    else:
-        ok = False
-        lines.append(
-            "FAIL: replay mismatch "
-            f"(reports equal: {first.faults == second.faults}, "
-            f"timelines equal: {timeline1 == timeline2})"
-        )
+        lines.append(str(first.faults))
+        if first.error is not None:
+            ok = False
+            lines.append(f"FAIL: execution did not complete: {first.error}")
+        else:
+            lines.append(
+                f"completed with {first.recompiles} recompile(s); excluded "
+                f"tiles {sorted(first.excluded_tiles)}; "
+                f"retry overhead {format_seconds(first.report.retry_s)} "
+                f"of {format_seconds(first.report.total_s)} total"
+            )
+        if not first.faults.all_recovered:
+            ok = False
+            lines.append("FAIL: unrecovered fault(s) in the ledger")
+        kinds = first.faults.kinds_injected()
+        lines.append(f"fault kinds injected: {', '.join(kinds)}")
+        if len(kinds) < 4:
+            ok = False
+            lines.append(
+                f"FAIL: only {len(kinds)} fault kinds fired (need 4+)"
+            )
+        for event, healthy, degraded in links:
+            lines.append(
+                f"link_drop at step {event.step}: all-reduce "
+                f"{format_seconds(healthy)} -> {format_seconds(degraded)} "
+                "over surviving link direction"
+            )
 
-    resume = kill_resume_check(
-        seed=seed,
-        epochs=2 if smoke else 3,
-        kill_after_steps=9 if smoke else 17,
-        dim=32 if smoke else 64,
-        n_samples=96 if smoke else 240,
-    )
-    if resume["bit_identical"]:
-        lines.append(
-            "kill/resume: OK (killed mid-epoch, resumed from step "
-            f"{resume['resumed_from_step']}, bit-identical to "
-            "uninterrupted run)"
+        replay_ok = (
+            first.faults == second.faults and timeline1 == timeline2
         )
-    else:
-        ok = False
-        lines.append(f"FAIL: kill/resume mismatch: {resume}")
+        if replay_ok:
+            lines.append(
+                "replay determinism: OK (identical fault report and "
+                f"{len(timeline1)}-span simulated timeline)"
+            )
+        else:
+            ok = False
+            lines.append(
+                "FAIL: replay mismatch "
+                f"(reports equal: {first.faults == second.faults}, "
+                f"timelines equal: {timeline1 == timeline2})"
+            )
 
-    sweep = degraded_tile_sweep(
-        methods=("Baseline", "Butterfly")
-        if smoke
-        else ("Baseline", "Butterfly", "Pixelfly"),
-        dim=512 if smoke else 2048,
-        batch=16 if smoke else 50,
-        spec=spec,
-        seed=seed,
-    )
-    lines.append("")
-    lines.append(sweep.render())
-    dense_dead = sweep.rows[0][2]
-    compressed_dead = min(row[2] for row in sweep.rows[1:])
-    if compressed_dead <= dense_dead:
-        ok = False
-        lines.append(
-            "FAIL: compressed models should survive more dead tiles "
-            f"than the dense baseline ({compressed_dead} <= {dense_dead})"
+    if want("kill-resume"):
+        resume = kill_resume_check(
+            seed=seed,
+            epochs=2 if smoke else 3,
+            kill_after_steps=9 if smoke else 17,
+            dim=32 if smoke else 64,
+            n_samples=96 if smoke else 240,
         )
-    else:
-        lines.append(
-            "degradation headroom: compressed models survive "
-            f"{compressed_dead - dense_dead} more dead tiles than dense"
+        if resume["bit_identical"]:
+            lines.append(
+                "kill/resume: OK (killed mid-epoch, resumed from step "
+                f"{resume['resumed_from_step']}, bit-identical to "
+                "uninterrupted run)"
+            )
+        else:
+            ok = False
+            lines.append(f"FAIL: kill/resume mismatch: {resume}")
+
+    if want("guard"):
+        guard = guard_grid_check(
+            seed=seed, cell_timeout_s=5.0 if smoke else 10.0
         )
+        report = guard["report"]
+        lines.append("")
+        lines.append(
+            "supervised grid: 1 worker killed, 1 hung, 2 transient "
+            "faults, 1 poisoned config"
+        )
+        lines.append(report.render())
+        if guard["ok"]:
+            lines.append(
+                "supervised grid: OK (survivors bit-identical to clean "
+                "serial run; resume re-executed only the quarantined "
+                f"cell, {guard['resumed_report'].journal_hits} journal "
+                "hits)"
+            )
+        else:
+            ok = False
+            lines.append(
+                "FAIL: supervised grid mismatch "
+                f"(survivors_identical={guard['survivors_identical']}, "
+                f"accounted={guard['accounted']}, "
+                f"resume_ok={guard['resume_ok']}, "
+                f"counters={guard['counters']})"
+            )
+
+    if want("tile-sweep"):
+        sweep = degraded_tile_sweep(
+            methods=("Baseline", "Butterfly")
+            if smoke
+            else ("Baseline", "Butterfly", "Pixelfly"),
+            dim=512 if smoke else 2048,
+            batch=16 if smoke else 50,
+            spec=spec,
+            seed=seed,
+        )
+        lines.append("")
+        lines.append(sweep.render())
+        dense_dead = sweep.rows[0][2]
+        compressed_dead = min(row[2] for row in sweep.rows[1:])
+        if compressed_dead <= dense_dead:
+            ok = False
+            lines.append(
+                "FAIL: compressed models should survive more dead tiles "
+                f"than the dense baseline ({compressed_dead} <= "
+                f"{dense_dead})"
+            )
+        else:
+            lines.append(
+                "degradation headroom: compressed models survive "
+                f"{compressed_dead - dense_dead} more dead tiles than dense"
+            )
 
     lines.append("")
     lines.append("CHAOS OK" if ok else "CHAOS FAILED")

@@ -1,0 +1,422 @@
+"""The supervised process pool: one watched process per grid cell.
+
+:mod:`repro.bench.parallel` fans cells out over a shared
+``ProcessPoolExecutor``; its failure mode is the reason this module
+exists — one worker dying abruptly breaks the *pool* (every sibling
+future collapses into ``BrokenProcessPool``), and a hung worker cannot
+be killed at all without tearing the pool down blind.  The supervisor
+therefore owns its processes directly: every attempt of every cell runs
+in a fresh ``spawn`` process with a private pipe, so the watchdog can
+kill exactly the hung cell, an ``os._exit`` loses exactly one attempt,
+and siblings never observe each other's deaths.
+
+Event loop
+----------
+
+The parent multiplexes all live workers with
+:func:`multiprocessing.connection.wait`, bounded by the nearest of (a)
+a running cell's deadline and (b) a backed-off retry's wake time.  An
+attempt ends in one of four ways:
+
+* **result** — the worker sent ``("ok", result, metrics, cache_stats)``;
+* **failure** — it sent ``("error", traceback, verdict)`` with the
+  transient/permanent verdict classified worker-side
+  (:func:`repro.guard.policy.classify_exception`);
+* **crash** — the pipe hit EOF without a message (``os._exit``, OOM
+  kill, interpreter abort): the dead process is replaced and the cell
+  retried as a transient failure;
+* **deadline** — the watchdog ``terminate()``-s the process and the
+  cell is retried; a cell whose *last* failure was a deadline kill is
+  reported ``timed_out`` rather than ``quarantined``.
+
+Every replaced worker process (crash or deadline kill) counts as a pool
+rebuild; past :attr:`GuardPolicy.max_pool_rebuilds` the supervisor
+degrades to serial execution (one live worker) for the remaining cells,
+bounding the blast radius of a misbehaving environment.
+
+Determinism
+-----------
+
+Results, metric merges and cache-stat merges are applied in config
+order after the grid completes — identical to the serial runner — and
+each cell's seed comes from the same ``SeedSequence.spawn`` walk, so a
+supervised run's results are bitwise equal to a clean serial run
+regardless of retries, kills or worker count.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import Connection
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.cache import CompilationCache, caching, get_cache
+from repro.guard.journal import GridJournal, cell_key
+from repro.guard.policy import PERMANENT, TRANSIENT, GuardPolicy, classify_exception
+from repro.guard.report import (
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    STATUS_RETRIED,
+    STATUS_TIMED_OUT,
+    CellReport,
+    GridReport,
+    record_report,
+)
+from repro.obs import get_tracer
+from repro.obs.metrics import MetricRegistry, collecting, get_registry
+
+__all__ = ["GUARD_TRACK", "run_supervised_grid"]
+
+#: Virtual trace track carrying one ``guard.cell`` span per attempt.
+GUARD_TRACK = "guard"
+
+#: How long to wait for a worker that already delivered its message (or
+#: was terminated) to actually exit before escalating to SIGKILL.
+_JOIN_GRACE_S = 10.0
+
+
+def _supervised_child(
+    conn: Connection,
+    worker: Callable,
+    config: Any,
+    seed_seq: np.random.SeedSequence,
+    cache_dir: str | None,
+) -> None:
+    """Child entry point: run one attempt, ship one message, exit.
+
+    Mirrors ``bench.parallel._run_in_worker`` (fresh metric registry,
+    shared disk cache) but classifies failures while the live exception
+    object is still in hand — the verdict crosses the process boundary,
+    the exception type does not have to.
+    """
+    cache = (
+        CompilationCache(path=cache_dir)
+        if cache_dir is not None
+        else CompilationCache()
+    )
+    try:
+        with collecting() as registry, caching(cache):
+            result = worker(config, seed_seq)
+        message = ("ok", result, registry.snapshot(), cache.stats.as_dict())
+    except Exception as exc:
+        message = ("error", traceback.format_exc(), classify_exception(exc))
+    try:
+        conn.send(message)
+    except Exception:
+        # The result itself would not pickle: that is deterministic, so
+        # report it as a permanent failure rather than crashing (which
+        # would be retried pointlessly).
+        try:
+            conn.send(
+                (
+                    "error",
+                    f"result for config {config!r} is not picklable:\n"
+                    f"{traceback.format_exc()}",
+                    PERMANENT,
+                )
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Cell:
+    """Supervisor-side state for one grid cell."""
+
+    index: int
+    config: Any
+    seed_seq: np.random.SeedSequence
+    key: str
+    report: CellReport
+    attempt: int = 0  # attempts started so far
+    result: Any = None
+    metrics: list = field(default_factory=list)
+    cache_stats: dict | None = None
+    done: bool = False
+    last_failure: str = ""  # "error" | "crash" | "timeout"
+
+
+@dataclass
+class _Running:
+    """One live worker process executing one attempt."""
+
+    cell: _Cell
+    process: Any
+    conn: Connection
+    started: float
+    deadline: float | None
+
+
+def _reap(running: _Running, kill: bool = False) -> None:
+    """Join (optionally kill) a finished or condemned worker process."""
+    proc = running.process
+    if kill and proc.is_alive():
+        proc.terminate()
+    proc.join(_JOIN_GRACE_S)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(_JOIN_GRACE_S)
+    running.conn.close()
+
+
+def run_supervised_grid(
+    worker: Callable,
+    configs: Sequence[Any],
+    *,
+    policy: GuardPolicy,
+    jobs: int = 1,
+    seed: int = 0,
+    cache_dir=None,
+    registry: MetricRegistry | None = None,
+    name: str | None = None,
+) -> tuple[list[Any], GridReport]:
+    """Run *worker* over *configs* under supervision.
+
+    Returns ``(results, report)`` where *results* is in config order
+    with ``None`` for cells that produced no result (quarantined or
+    timed out) and *report* accounts for every attempt.  The report is
+    also published to the ambient collector
+    (:func:`repro.guard.report.record_report`).  Raising on failures is
+    the caller's decision (``run_grid`` raises under ``strict``).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    configs = list(configs)
+    seed_seqs = np.random.SeedSequence(seed).spawn(len(configs))
+    registry = registry if registry is not None else get_registry()
+    tracer = get_tracer()
+    parent_cache = get_cache()
+    if cache_dir is None and parent_cache.enabled:
+        cache_dir = parent_cache.path
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+
+    grid_name = name or getattr(worker, "__qualname__", "grid")
+    report = GridReport(name=grid_name)
+    journal = (
+        GridJournal(policy.journal_dir)
+        if policy.journal_dir is not None
+        else None
+    )
+
+    cells: list[_Cell] = []
+    for index, (config, seed_seq) in enumerate(zip(configs, seed_seqs)):
+        cell = _Cell(
+            index=index,
+            config=config,
+            seed_seq=seed_seq,
+            key=cell_key(worker, seed, index, config),
+            report=CellReport(index=index, config=repr(config)),
+        )
+        cells.append(cell)
+        report.cells.append(cell.report)
+
+    # -- resume pre-pass: serve journalled cells without executing them.
+    if journal is not None and policy.resume:
+        for cell in cells:
+            entry = journal.lookup(cell.key)
+            if entry is None:
+                continue
+            cell.result = entry.result
+            cell.metrics = entry.metrics
+            cell.cache_stats = entry.cache_stats
+            cell.done = True
+            cell.report.status = STATUS_OK
+            cell.report.from_journal = True
+            report.journal_hits += 1
+
+    pending: list[_Cell] = [c for c in cells if not c.done]
+    waiting: list[tuple[float, int, _Cell]] = []  # (wake time, index, cell)
+    running: dict[Connection, _Running] = {}
+    ctx = get_context("spawn")
+    max_workers = max(1, min(jobs, len(pending) or 1))
+
+    def finalize(cell: _Cell, status: str, error: str | None = None) -> None:
+        cell.done = True
+        cell.report.status = status
+        cell.report.error = error
+        if status in (STATUS_QUARANTINED, STATUS_TIMED_OUT):
+            if registry.enabled:
+                registry.counter("guard.quarantined").inc()
+
+    def launch(cell: _Cell) -> None:
+        cell.attempt += 1
+        cell.report.attempts = cell.attempt
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_supervised_child,
+            args=(child_conn, worker, cell.config, cell.seed_seq, cache_dir),
+            daemon=True,
+        )
+        proc.start()
+        # Close the parent's copy of the write end: the pipe then hits
+        # EOF the moment the child dies, however it dies.
+        child_conn.close()
+        now = time.monotonic()
+        deadline = (
+            now + policy.cell_timeout_s
+            if policy.cell_timeout_s is not None
+            else None
+        )
+        running[parent_conn] = _Running(
+            cell=cell,
+            process=proc,
+            conn=parent_conn,
+            started=now,
+            deadline=deadline,
+        )
+
+    def attempt_span(cell: _Cell, wall_s: float, outcome: str) -> None:
+        cell.report.wall_s += wall_s
+        tracer.add_span(
+            "guard.cell",
+            wall_s,
+            GUARD_TRACK,
+            category="guard",
+            index=cell.index,
+            attempt=cell.attempt,
+            outcome=outcome,
+        )
+
+    def note_rebuild(cell: _Cell) -> None:
+        """A worker process had to be replaced (crash or deadline kill)."""
+        nonlocal max_workers
+        report.pool_rebuilds += 1
+        if registry.enabled:
+            registry.counter("guard.pool_rebuilds").inc()
+        if (
+            report.pool_rebuilds > policy.max_pool_rebuilds
+            and not report.serial_fallback
+        ):
+            report.serial_fallback = True
+            max_workers = 1
+
+    def retry_or_quarantine(cell: _Cell, kind: str, detail: str) -> None:
+        """Schedule a transient retry, or hand down the final verdict."""
+        cell.last_failure = kind
+        if cell.attempt <= policy.retries:
+            cell.report.retries += 1
+            if registry.enabled:
+                registry.counter("guard.retries").inc()
+            delay = policy.backoff_s(cell.index, cell.attempt)
+            cell.report.backoff_s = cell.report.backoff_s + (delay,)
+            waiting.append((time.monotonic() + delay, cell.index, cell))
+            waiting.sort(key=lambda item: (item[0], item[1]))
+        else:
+            status = (
+                STATUS_TIMED_OUT if kind == "timeout" else STATUS_QUARANTINED
+            )
+            finalize(cell, status, error=detail)
+
+    def handle_message(run: _Running) -> None:
+        cell = run.cell
+        try:
+            message = run.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        wall = time.monotonic() - run.started
+        _reap(run)
+        if message is None:
+            # Died without a word: os._exit, SIGKILL, interpreter abort.
+            exitcode = run.process.exitcode
+            cell.report.crashes += 1
+            attempt_span(cell, wall, "crash")
+            note_rebuild(cell)
+            retry_or_quarantine(
+                cell,
+                "crash",
+                f"worker process for config {cell.config!r} died abruptly "
+                f"(exit code {exitcode}) and exhausted its retries",
+            )
+            return
+        if message[0] == "ok":
+            _, result, metrics, cache_stats = message
+            cell.result = result
+            cell.metrics = metrics
+            cell.cache_stats = cache_stats
+            attempt_span(cell, wall, "ok")
+            finalize(
+                cell,
+                STATUS_RETRIED if cell.report.retries else STATUS_OK,
+            )
+            if journal is not None:
+                journal.record(
+                    cell.key,
+                    cell.index,
+                    cell.config,
+                    result,
+                    metrics,
+                    cache_stats,
+                )
+            return
+        _, detail, verdict = message
+        attempt_span(cell, wall, "error")
+        if verdict == TRANSIENT:
+            retry_or_quarantine(cell, "error", detail)
+        else:
+            finalize(cell, STATUS_QUARANTINED, error=detail)
+
+    def handle_deadline(run: _Running) -> None:
+        cell = run.cell
+        wall = time.monotonic() - run.started
+        _reap(run, kill=True)
+        cell.report.timeouts += 1
+        if registry.enabled:
+            registry.counter("guard.timeouts").inc()
+        attempt_span(cell, wall, "timeout")
+        note_rebuild(cell)
+        retry_or_quarantine(
+            cell,
+            "timeout",
+            f"worker for config {cell.config!r} exceeded the "
+            f"{policy.cell_timeout_s:g}s cell deadline on every attempt",
+        )
+
+    try:
+        while pending or waiting or running:
+            now = time.monotonic()
+            while waiting and waiting[0][0] <= now:
+                _, _, cell = waiting.pop(0)
+                pending.append(cell)
+            while pending and len(running) < max_workers:
+                launch(pending.pop(0))
+
+            bounds = [r.deadline for r in running.values() if r.deadline]
+            if waiting:
+                bounds.append(waiting[0][0])
+            now = time.monotonic()
+            timeout = max(0.0, min(bounds) - now) if bounds else None
+
+            if running:
+                ready = connection_wait(list(running), timeout=timeout)
+                for conn in ready:
+                    handle_message(running.pop(conn))
+            elif waiting:
+                # Nothing live, first retry still backing off: sleep it out.
+                time.sleep(max(0.0, waiting[0][0] - time.monotonic()))
+
+            now = time.monotonic()
+            for conn, run in list(running.items()):
+                if run.deadline is not None and run.deadline <= now:
+                    handle_deadline(running.pop(conn))
+    finally:
+        for run in running.values():
+            _reap(run, kill=True)
+
+    # -- deterministic merge: config order, exactly like the serial path.
+    results: list[Any] = []
+    for cell in cells:
+        results.append(cell.result)
+        if cell.metrics:
+            registry.merge_snapshot(cell.metrics)
+        if cell.cache_stats and parent_cache.enabled:
+            parent_cache.stats.merge(cell.cache_stats)
+    record_report(report)
+    return results, report

@@ -34,7 +34,7 @@ from repro.nn.optim import (
 )
 from repro.nn.losses import cross_entropy, mse_loss, accuracy
 from repro.nn.data import ArrayDataset, DataLoader, train_val_split
-from repro.nn.trainer import Trainer, TrainingHistory
+from repro.nn.trainer import NumericsError, Trainer, TrainingHistory
 from repro.nn.structured import (
     ButterflyLinear,
     PixelflyLinear,
@@ -73,6 +73,7 @@ __all__ = [
     "ArrayDataset",
     "DataLoader",
     "train_val_split",
+    "NumericsError",
     "Trainer",
     "TrainingHistory",
     "ButterflyLinear",

@@ -24,7 +24,38 @@ from repro.nn.optim import Optimizer
 from repro.nn.tensor import Tensor, no_grad
 from repro.obs import get_registry, get_tracer
 
-__all__ = ["TrainingHistory", "Trainer"]
+__all__ = ["NumericsError", "TrainingHistory", "Trainer"]
+
+
+class NumericsError(RuntimeError):
+    """Training produced a non-finite loss or gradient.
+
+    Raised by :meth:`Trainer.fit` the step the divergence is observed,
+    with the context needed to reproduce or recover: ``epoch`` and
+    ``step`` (global optimisation step) of the poisoned update, the
+    ``loss`` value, the name of the first non-finite parameter gradient
+    (``param``, ``None`` when the loss itself was non-finite), and —
+    when the run was checkpointing — ``rolled_back_to_step``, the global
+    step of the checkpoint the model/optimiser state was restored to
+    before raising (``None`` if there was nothing to roll back to).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        epoch: int,
+        step: int,
+        loss: float,
+        param: str | None = None,
+        rolled_back_to_step: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.step = step
+        self.loss = loss
+        self.param = param
+        self.rolled_back_to_step = rolled_back_to_step
 
 
 @dataclass
@@ -100,6 +131,69 @@ class Trainer:
         if count == 0:
             return 0.0, 0.0
         return total_loss / count, correct / count
+
+    def _nonfinite_gradient(self) -> str | None:
+        """Name of the first parameter with a non-finite gradient, if any."""
+        for name, param in self.model.named_parameters():
+            grad = param.grad
+            if grad is not None and not np.all(np.isfinite(grad)):
+                return name
+        return None
+
+    def _handle_numerics_fault(
+        self,
+        *,
+        epoch: int,
+        step: int,
+        loss: float,
+        param: str | None,
+        history: TrainingHistory,
+        checkpoint: CheckpointManager | None,
+        train_loader: DataLoader,
+        val_loader: DataLoader | None,
+        registry,
+    ) -> None:
+        """Roll back to the last checkpoint (if any) and raise.
+
+        The model/optimiser/loader state left behind is the restored
+        checkpoint's — never the poisoned weights — so a caller that
+        catches :class:`NumericsError` can adjust hyper-parameters and
+        call :meth:`fit` again from healthy state.
+        """
+        rolled_back: int | None = None
+        if checkpoint is not None:
+            latest = checkpoint.load_latest()
+            if latest is not None:
+                ckpt_step, arrays, meta = latest
+                self._restore_checkpoint(
+                    arrays, meta, history, train_loader, val_loader
+                )
+                rolled_back = ckpt_step
+        if registry.enabled:
+            registry.counter("trainer.numerics_errors").inc()
+        what = (
+            f"gradient of parameter {param!r} is non-finite"
+            if param is not None
+            else f"loss is non-finite ({loss!r})"
+        )
+        message = (
+            f"numerics fault at epoch {epoch}, step {step}: {what}"
+        )
+        if rolled_back is not None:
+            message += (
+                f"; model and optimiser rolled back to the step-"
+                f"{rolled_back} checkpoint"
+            )
+        elif checkpoint is not None:
+            message += "; no checkpoint available to roll back to"
+        raise NumericsError(
+            message,
+            epoch=epoch,
+            step=step,
+            loss=float(loss),
+            param=param,
+            rolled_back_to_step=rolled_back,
+        )
 
     # -- checkpoint plumbing --------------------------------------------------
 
@@ -206,6 +300,7 @@ class Trainer:
         checkpoint: CheckpointManager | None = None,
         checkpoint_every: int = 0,
         resume: bool = True,
+        numerics_check: bool = True,
     ) -> TrainingHistory:
         """Train for *epochs* and return the collected history.
 
@@ -218,6 +313,14 @@ class Trainer:
         batch cursor.  The resumed run's losses, accuracies and final
         parameters are bit-identical to an uninterrupted run; only the
         host wall-clock fields differ.
+
+        With *numerics_check* (the default), every step's loss and
+        parameter gradients are checked for NaN/inf; a divergence raises
+        :class:`NumericsError` at the offending step instead of training
+        on through poisoned weights.  When a checkpoint manager is
+        present, model and optimiser state are first rolled back to the
+        last checkpoint (the exception records which one), so the caller
+        can lower the learning rate and resume from healthy state.
         """
         if checkpoint_every < 0:
             raise ValueError(
@@ -282,6 +385,22 @@ class Trainer:
                             registry.counter("trainer.steps").inc()
                             registry.gauge("trainer.loss").set(loss)
                             registry.gauge("trainer.accuracy").set(acc)
+                        if numerics_check:
+                            bad_param = None
+                            if np.isfinite(loss):
+                                bad_param = self._nonfinite_gradient()
+                            if not np.isfinite(loss) or bad_param:
+                                self._handle_numerics_fault(
+                                    epoch=epoch,
+                                    step=history.steps + 1,
+                                    loss=loss,
+                                    param=bad_param,
+                                    history=history,
+                                    checkpoint=checkpoint,
+                                    train_loader=train_loader,
+                                    val_loader=val_loader,
+                                    registry=registry,
+                                )
                         losses.append(loss)
                         accs.append(acc)
                         history.steps += 1

@@ -35,6 +35,7 @@ __all__ = [
     "ManifestError",
     "build_manifest",
     "cache_section",
+    "guard_section",
     "memory_section",
     "liveness_section",
     "hot_spans",
@@ -130,6 +131,44 @@ def cache_section(cache) -> dict:
     }
 
 
+def guard_section(reports) -> dict:
+    """The supervised-grid section of a manifest.
+
+    *reports* is a list of :class:`~repro.guard.GridReport` (duck-typed
+    to avoid importing :mod:`repro.guard` here), one per supervised grid
+    executed during the run.  Per-cell entries are included only for
+    cells that did *not* complete clean on the first attempt, so a
+    healthy run's section stays a handful of zeros.
+    """
+    grids = []
+    for report in reports:
+        grids.append(
+            {
+                "name": report.name,
+                "cells": int(report.n_cells),
+                "ok": int(report.n_ok),
+                "retried": int(report.n_retried),
+                "quarantined": int(report.n_quarantined),
+                "timed_out": int(report.n_timed_out),
+                "retries": int(report.total_retries),
+                "timeouts": int(report.total_timeouts),
+                "crashes": int(report.total_crashes),
+                "pool_rebuilds": int(report.pool_rebuilds),
+                "serial_fallback": bool(report.serial_fallback),
+                "journal_hits": int(report.journal_hits),
+                "events": [
+                    cell.as_dict()
+                    for cell in report.cells
+                    if cell.status != "ok" or cell.retries
+                ],
+            }
+        )
+    return {
+        "grids": grids,
+        "ok": all(r.ok for r in reports),
+    }
+
+
 def liveness_section(liveness) -> dict:
     """Summary of a :class:`~repro.ipu.liveness.LivenessReport`."""
     return {
@@ -173,6 +212,7 @@ def build_manifest(
     config: dict | None = None,
     seed: int | None = None,
     top_k: int = 20,
+    guard=None,
 ) -> dict:
     """Join metrics, trace and compiler data into one ``repro.run/1`` dict.
 
@@ -180,6 +220,9 @@ def build_manifest(
     memory and liveness sections appear only when their reports are
     supplied.  *cache* defaults to the process-global compilation cache
     and contributes a ``cache`` section whenever that cache is enabled.
+    *guard* is a list of :class:`~repro.guard.GridReport` (typically
+    from ``guard.reporting()``); a non-empty list contributes a
+    ``guard`` section.
     """
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
@@ -207,6 +250,8 @@ def build_manifest(
         manifest["liveness"] = liveness_section(liveness)
     if cache.enabled:
         manifest["cache"] = cache_section(cache)
+    if guard:
+        manifest["guard"] = guard_section(guard)
     return manifest
 
 
@@ -351,6 +396,31 @@ def render_report(manifest: dict) -> str:
             f"stores: {cache['stores']}  evictions: {cache['evictions']}  "
             f"corrupt: {cache['corrupt']}"
         )
+        lines.append("")
+
+    guard = manifest.get("guard")
+    if guard is not None:
+        lines.append("supervised grids")
+        for grid in guard.get("grids", []):
+            lines.append(
+                f"  {grid['name']}: {grid['cells']} cells — "
+                f"{grid['ok']} ok, {grid['retried']} retried, "
+                f"{grid['quarantined']} quarantined, "
+                f"{grid['timed_out']} timed out"
+            )
+            lines.append(
+                f"    retries: {grid['retries']}  "
+                f"deadline kills: {grid['timeouts']}  "
+                f"crashes: {grid['crashes']}  "
+                f"pool rebuilds: {grid['pool_rebuilds']}  "
+                f"journal hits: {grid['journal_hits']}"
+                + ("  [serial fallback]" if grid["serial_fallback"] else "")
+            )
+            for event in grid.get("events", []):
+                lines.append(
+                    f"    cell {event['index']} [{event['config']}]: "
+                    f"{event['status']} (attempts={event['attempts']})"
+                )
         lines.append("")
 
     live = manifest.get("liveness")

@@ -24,6 +24,12 @@ def _failing_worker(config, seed_seq):
     return config
 
 
+def _multi_failing_worker(config, seed_seq):
+    if config % 2:
+        raise ValueError(f"odd config {config} rejected")
+    return config * 10
+
+
 def _metrics_worker(config, seed_seq):
     from repro.obs.metrics import get_registry
 
@@ -89,6 +95,32 @@ class TestCrashSurfacing:
     def test_serial_exception_propagates(self):
         with pytest.raises(ValueError, match="intentional"):
             run_grid(_failing_worker, ["bad"], jobs=1)
+
+    def test_every_failing_config_is_reported(self):
+        with pytest.raises(WorkerError) as excinfo:
+            run_grid(_multi_failing_worker, [0, 1, 2, 3, 4], jobs=2)
+        err = excinfo.value
+        # First failure keeps the historical attributes...
+        assert err.config == 1
+        assert "odd config 1" in err.detail
+        # ...and the full accounting names every failing config.
+        assert [config for config, _ in err.failures] == [1, 3]
+        assert all("rejected" in detail for _, detail in err.failures)
+        assert "more failed config" in str(err)
+
+    def test_completed_results_survive_the_raise(self):
+        with pytest.raises(WorkerError) as excinfo:
+            run_grid(_multi_failing_worker, [0, 1, 2, 3, 4], jobs=2)
+        results = excinfo.value.results
+        assert results == [0, None, 20, None, 40]
+
+    def test_single_failure_keeps_plain_message(self):
+        with pytest.raises(WorkerError) as excinfo:
+            run_grid(_failing_worker, ["ok", "bad"], jobs=2)
+        message = str(excinfo.value)
+        assert message.startswith("worker failed for config 'bad':")
+        assert "more failed config" not in message
+        assert excinfo.value.results == ["ok", None]
 
 
 class TestMerging:
