@@ -8,7 +8,8 @@ Usage::
     python -m repro all [--full]         # everything (opt. paper-scale)
     python -m repro fig5 --jobs 4 --cell-timeout 60 --retries 2 --resume
                                          # supervised grid (repro.guard)
-    python -m repro trace fig6           # run one artefact under the tracer
+    python -m repro trace fig6 --jobs 2  # tracer + log + HTML timeline
+    python -m repro timeline fig6.trace.json   # re-render the timeline
     python -m repro chaos --seed 0       # fault-injection suite
     python -m repro report run.json      # render a repro.run/1 manifest
     python -m repro report --smoke       # deterministic smoke manifest
@@ -24,6 +25,7 @@ registered subcommand is treated as an artefact name (the historical
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from dataclasses import dataclass, field
@@ -350,7 +352,8 @@ def run_main(argv: list[str]) -> int:
         cache = _make_cache(args)
         if args.out:
             with obs.tracing() as tracer, obs.collecting() as registry, \
-                    caching(cache), guardmod.reporting() as reports:
+                    obs.logging() as runlog, caching(cache), \
+                    guardmod.reporting() as reports:
                 text = ARTEFACTS[name].render(opts)
             manifest = obs.build_manifest(
                 name,
@@ -363,8 +366,12 @@ def run_main(argv: list[str]) -> int:
                     "jobs": args.jobs,
                 },
                 guard=reports,
+                log=runlog,
             )
             obs.write_manifest(manifest, args.out / f"{name}.json")
+            # The manifest carries event *counts* only (so parallel runs
+            # stay bit-identical); the full stream lives alongside it.
+            obs.write_jsonl(runlog, args.out / f"{name}.log.jsonl")
         else:
             with caching(cache), guardmod.reporting() as reports:
                 text = ARTEFACTS[name].render(opts)
@@ -394,11 +401,15 @@ def list_main(argv: list[str]) -> int:
 
 
 def trace_main(argv: list[str]) -> int:
-    """``python -m repro trace <artefact>``: run one driver under a tracer."""
+    """``python -m repro trace <artefact>``: one run, full observability."""
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
-        description="Run one artefact with tracing enabled and write a "
-        "Chrome trace-event JSON next to the benchmark outputs.",
+        description="Run one artefact with tracing and structured logging "
+        "enabled; write a Chrome trace-event JSON, a flame summary, a "
+        "repro.log/1 JSONL and a self-contained HTML timeline next to "
+        "the benchmark outputs.  With --jobs N (and optionally the "
+        "supervision flags) worker-side spans and log events are merged "
+        "into the same trace on cellN/... tracks.",
     )
     parser.add_argument(
         "artefact", help="artefact name; see 'python -m repro list'"
@@ -414,29 +425,174 @@ def trace_main(argv: list[str]) -> int:
         default=None,
         help="output directory (default: benchmarks/output)",
     )
+    parser.add_argument(
+        "--track",
+        default=None,
+        metavar="GLOB",
+        help="restrict the flame summary to tracks matching GLOB "
+        "(e.g. 'cell*/ipu'); trace, log and timeline keep every track",
+    )
+    _add_cache_flags(parser)
+    _add_guard_flags(parser)
     args = parser.parse_args(argv)
     if args.artefact not in ARTEFACTS:
         parser.error(
             f"unknown artefact {args.artefact!r}; "
             "try 'python -m repro list'"
         )
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        guard = _make_guard(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+    cache = _make_cache(args)
     out_dir = args.out if args.out is not None else _default_output_dir()
     out_dir.mkdir(parents=True, exist_ok=True)
-    with obs.tracing() as tracer:
-        text = ARTEFACTS[args.artefact].render(RunOptions(full=args.full))
+    opts = RunOptions(full=args.full, jobs=args.jobs, guard=guard)
+    with obs.tracing() as tracer, obs.logging() as runlog, \
+            caching(cache), guardmod.reporting() as reports:
+        text = ARTEFACTS[args.artefact].render(opts)
     print(text)
     print()
+    exit_code = 0
+    for report in reports:
+        if report.journal_hits or not report.ok or report.pool_rebuilds:
+            print(report.render())
+            print()
+        if not report.ok:
+            exit_code = 1
     trace_path = obs.write_chrome_trace(
         tracer, out_dir / f"{args.artefact}.trace.json"
     )
-    summary = obs.flame_summary(tracer)
+    summary = obs.flame_summary(tracer, track=args.track)
     summary_path = out_dir / f"{args.artefact}.flame.txt"
     summary_path.write_text(summary + "\n")
     print(summary)
+    log_path = obs.write_jsonl(
+        runlog, out_dir / f"{args.artefact}.log.jsonl"
+    )
+    # Round-trip through the interchange format so this timeline is
+    # exactly what `python -m repro timeline <trace.json>` would render.
+    spans, counters = obs.spans_from_chrome_trace(
+        obs.to_chrome_trace(tracer)
+    )
+    subtitle = f"jobs={args.jobs}" + (", supervised" if guard else "")
+    timeline_path = obs.write_timeline_html(
+        obs.render_timeline_html(
+            spans,
+            counters,
+            events=list(runlog.events),
+            title=f"repro trace: {args.artefact}",
+            subtitle=subtitle,
+        ),
+        out_dir / f"{args.artefact}.timeline.html",
+    )
     print(
         f"\n[trace: {trace_path} ({len(tracer.spans)} spans, "
         f"{len(tracer.counters)} counter samples); "
-        f"flame summary: {summary_path}]"
+        f"flame summary: {summary_path};\n"
+        f" log: {log_path} ({len(runlog.events)} events); "
+        f"timeline: {timeline_path}]"
+    )
+    return exit_code
+
+
+def timeline_main(argv: list[str]) -> int:
+    """``python -m repro timeline``: render the unified HTML timeline."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro timeline",
+        description="Combine a Chrome trace-event JSON (or a repro.run/1 "
+        "manifest) with an optional repro.log/1 JSONL into one "
+        "self-contained HTML timeline — no scripts, fonts or network "
+        "dependencies, openable from a CI artefact store.",
+    )
+    parser.add_argument(
+        "input",
+        type=pathlib.Path,
+        help="a NAME.trace.json Chrome trace, or a repro.run/1 manifest "
+        "(hot spans render as per-track aggregate bars)",
+    )
+    parser.add_argument(
+        "--log",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="repro.log/1 JSONL to overlay as a log lane + table "
+        "(default: a sibling NAME.log.jsonl when present)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="output HTML path (default: NAME.timeline.html next to "
+        "the input)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        doc = json.loads(args.input.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+
+    counters: list = []
+    metrics = None
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        spans, counters = obs.spans_from_chrome_trace(doc)
+        source = "chrome trace"
+    else:
+        try:
+            manifest = obs.read_manifest(args.input)
+        except obs.ManifestError as exc:
+            print(
+                f"error: {args.input} is neither a Chrome trace "
+                f"(no 'traceEvents') nor a repro.run/1 manifest: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        spans = obs.spans_from_manifest(manifest)
+        metrics = manifest.get("metrics") or None
+        source = "repro.run/1 manifest"
+
+    # NAME.trace.json and NAME.json both pair with NAME.log.jsonl.
+    base = args.input.name
+    for suffix in (".trace.json", ".json"):
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+            break
+    log_path = args.log
+    if log_path is None:
+        sibling = args.input.with_name(f"{base}.log.jsonl")
+        if sibling.is_file():
+            log_path = sibling
+    events: list = []
+    if log_path is not None:
+        try:
+            _header, events = obs.read_jsonl(log_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {log_path}: {exc}", file=sys.stderr)
+            return 2
+
+    out = (
+        args.out
+        if args.out is not None
+        else args.input.with_name(f"{base}.timeline.html")
+    )
+    path = obs.write_timeline_html(
+        obs.render_timeline_html(
+            spans,
+            counters,
+            events=events,
+            metrics=metrics,
+            title=f"repro timeline: {base}",
+            subtitle=f"from {args.input.name} ({source})"
+            + (f" + {log_path.name}" if log_path is not None else ""),
+        ),
+        out,
+    )
+    print(
+        f"[timeline: {path} ({len(spans)} spans, {len(counters)} counter "
+        f"samples, {len(events)} log events)]"
     )
     return 0
 
@@ -616,7 +772,11 @@ SUBCOMMANDS: dict[str, Subcommand] = {
     "run": Subcommand(run_main, "regenerate artefacts (the default)"),
     "list": Subcommand(list_main, "list available artefacts"),
     "trace": Subcommand(
-        trace_main, "run one artefact under the tracer (Chrome JSON)"
+        trace_main,
+        "run one artefact under tracer+log (Chrome JSON, JSONL, HTML)",
+    ),
+    "timeline": Subcommand(
+        timeline_main, "render a trace/manifest (+log) as an HTML timeline"
     ),
     "chaos": Subcommand(
         chaos_main, "fault-injection & recovery suite (RESILIENCE.md)"

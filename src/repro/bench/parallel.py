@@ -54,7 +54,11 @@ import numpy as np
 from repro.cache import CompilationCache, caching, get_cache
 from repro.guard.policy import GuardPolicy
 from repro.guard.supervisor import run_supervised_grid
+from repro.obs.context import derive_run_id, worker_track
+from repro.obs.log import get_logger
 from repro.obs.metrics import MetricRegistry, collecting, get_registry
+from repro.obs.propagate import obs_spec, worker_observability
+from repro.obs.tracer import get_tracer
 
 __all__ = ["WorkerError", "run_grid"]
 
@@ -96,26 +100,46 @@ def _run_in_worker(
     config: Any,
     seed_seq: np.random.SeedSequence,
     cache_dir: str | None,
-) -> tuple[str, Any, list[dict], dict]:
+    spec: dict | None = None,
+) -> tuple[str, Any, list[dict], dict, dict, list[dict]]:
     """Top-level trampoline executed inside a pool process.
 
-    Installs a fresh metric registry and (when a cache directory is
-    shared) a disk-backed compilation cache, runs *worker*, and ships
-    back ``("ok", result, metrics_snapshot, cache_stats)``.  Exceptions
-    become ``("error", traceback_text, ...)`` so the parent can re-raise
-    with full remote context.
+    Installs a fresh metric registry, (when a cache directory is
+    shared) a disk-backed compilation cache, and whatever observability
+    *spec* requests (see :func:`repro.obs.propagate.obs_spec`), runs
+    *worker*, and ships back ``("ok", result, metrics_snapshot,
+    cache_stats, trace_snapshot, log_snapshot)``.  Exceptions become
+    ``("error", traceback_text, ...)`` so the parent can re-raise with
+    full remote context — with the trace/log buffers the worker flushed
+    before dying still attached, so a failed cell is not a blind spot.
     """
     cache = (
         CompilationCache(path=cache_dir)
         if cache_dir is not None
         else CompilationCache()
     )
+    tracer, runlog = None, None
     try:
-        with collecting() as registry, caching(cache):
+        with collecting() as registry, caching(cache), \
+                worker_observability(spec) as (tracer, runlog):
             result = worker(config, seed_seq)
-        return "ok", result, registry.snapshot(), cache.stats.as_dict()
+        return (
+            "ok",
+            result,
+            registry.snapshot(),
+            cache.stats.as_dict(),
+            tracer.snapshot(),
+            runlog.snapshot(),
+        )
     except Exception:
-        return "error", traceback.format_exc(), [], cache.stats.as_dict()
+        return (
+            "error",
+            traceback.format_exc(),
+            [],
+            cache.stats.as_dict(),
+            tracer.snapshot() if tracer is not None else {},
+            runlog.snapshot() if runlog is not None else [],
+        )
 
 
 def run_grid(
@@ -186,11 +210,38 @@ def run_grid(
         return results
 
     seed_seqs = np.random.SeedSequence(seed).spawn(len(configs))
+    grid_name = name or getattr(worker, "__qualname__", "grid")
+    run_id = derive_run_id(grid_name, seed, len(configs))
+    specs = [obs_spec(run_id, grid_name, i) for i in range(len(configs))]
+    parent_tracer = get_tracer()
+    parent_log = get_logger()
+
     if jobs == 1:
-        return [
-            worker(config, seed_seq)
-            for config, seed_seq in zip(configs, seed_seqs)
-        ]
+        if not any(specs):
+            # Observability off: the historical zero-overhead path,
+            # byte-identical to every run before tracing existed.
+            return [
+                worker(config, seed_seq)
+                for config, seed_seq in zip(configs, seed_seqs)
+            ]
+        # Each cell gets the same fresh per-cell instruments a spawned
+        # worker would, merged back under the same cell{i}/... tracks —
+        # so a serial grid's merged timeline is identical to a parallel
+        # one.  A worker exception still propagates (as always on this
+        # path), but only after the cell's partial buffers are merged.
+        results = []
+        for index, (config, seed_seq) in enumerate(zip(configs, seed_seqs)):
+            with worker_observability(specs[index]) as (tracer, runlog):
+                try:
+                    results.append(worker(config, seed_seq))
+                finally:
+                    parent_tracer.merge_snapshot(
+                        tracer.snapshot(), prefix=worker_track(index)
+                    )
+                    parent_log.merge_snapshot(
+                        runlog.snapshot(), worker=index
+                    )
+        return results
 
     registry = registry if registry is not None else get_registry()
     parent_cache = get_cache()
@@ -202,8 +253,10 @@ def run_grid(
         mp_context=get_context("spawn"),
     ) as pool:
         futures = [
-            pool.submit(_run_in_worker, worker, config, seed_seq, cache_dir)
-            for config, seed_seq in zip(configs, seed_seqs)
+            pool.submit(
+                _run_in_worker, worker, config, seed_seq, cache_dir, spec
+            )
+            for config, seed_seq, spec in zip(configs, seed_seqs, specs)
         ]
         # Collect every outcome before judging any: a broken pool fails
         # the still-pending futures, not the ones that already finished.
@@ -218,14 +271,19 @@ def run_grid(
                         f"a worker process died abruptly ({exc})",
                         [],
                         {},
+                        {},
+                        [],
                     )
                 )
 
     results: list[Any] = []
     failures: list[tuple[Any, str]] = []
-    for config, (status, payload, metrics, cache_stats) in zip(
-        configs, outcomes
-    ):
+    for index, (config, outcome) in enumerate(zip(configs, outcomes)):
+        status, payload, metrics, cache_stats, trace_snap, log_snap = outcome
+        # Merge observability for failed cells too: whatever the worker
+        # flushed before the exception is part of the record.
+        parent_tracer.merge_snapshot(trace_snap, prefix=worker_track(index))
+        parent_log.merge_snapshot(log_snap, worker=index)
         if status == "error":
             failures.append((config, payload))
             results.append(None)

@@ -40,7 +40,7 @@ from repro.faults.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.obs import get_registry, get_tracer
+from repro.obs import get_logger, get_registry, get_tracer
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -198,14 +198,22 @@ class CompilationCache:
             # the recompile atomically replaces the damaged file.
             self.stats.corrupt += 1
             get_registry().counter("cache.corrupt").inc()
+            self._log_corrupt(key, "unreadable entry")
             return None
         if meta.pop("cache_schema", None) != CACHE_SCHEMA or meta.pop(
             "cache_key", None
         ) != key:
             self.stats.corrupt += 1
             get_registry().counter("cache.corrupt").inc()
+            self._log_corrupt(key, "schema or key mismatch")
             return None
         return CacheRecord(arrays=arrays, meta=meta)
+
+    @staticmethod
+    def _log_corrupt(key: str, reason: str) -> None:
+        log = get_logger()
+        if log.enabled:
+            log.warning("cache.corrupt", reason, key=key[:12])
 
     # -- public API ----------------------------------------------------------
 
@@ -237,6 +245,10 @@ class CompilationCache:
                     registry.counter("cache.misses").inc()
                 else:
                     registry.counter("cache.hits").inc()
+            if tier == "miss":
+                log = get_logger()
+                if log.enabled:
+                    log.info("cache.miss", key=key[:12])
         return record
 
     def store(self, key: str, record: CacheRecord) -> None:

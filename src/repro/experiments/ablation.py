@@ -204,4 +204,4 @@ def render() -> str:
 
 
 if __name__ == "__main__":
-    print(render())
+    print(render())  # noqa: T201

@@ -91,4 +91,4 @@ def render(spec: IPUSpec = GC200) -> str:
 
 
 if __name__ == "__main__":
-    print(render())
+    print(render())  # noqa: T201

@@ -115,4 +115,4 @@ def render(base: int = 2048) -> str:
 
 
 if __name__ == "__main__":
-    print(render())
+    print(render())  # noqa: T201

@@ -302,6 +302,6 @@ def render_planner(
 
 
 if __name__ == "__main__":
-    print(render())
-    print()
-    print(render_planner())
+    print(render())  # noqa: T201
+    print()  # noqa: T201
+    print(render_planner())  # noqa: T201

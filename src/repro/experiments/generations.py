@@ -116,4 +116,4 @@ def render(specs: tuple[IPUSpec, ...] = (GC2, GC200)) -> str:
 
 
 if __name__ == "__main__":
-    print(render())
+    print(render())  # noqa: T201

@@ -71,4 +71,4 @@ def render(gpu: GPUSpec = A30, ipu: IPUSpec = GC200) -> str:
 
 
 if __name__ == "__main__":
-    print(render())
+    print(render())  # noqa: T201

@@ -172,4 +172,4 @@ def render(
 
 
 if __name__ == "__main__":
-    print(render())
+    print(render())  # noqa: T201

@@ -159,4 +159,4 @@ def render(rows: list[Table4Row] | None = None) -> str:
 
 
 if __name__ == "__main__":
-    print(render())
+    print(render())  # noqa: T201

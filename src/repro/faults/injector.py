@@ -25,7 +25,7 @@ from repro.faults.plan import (
     FaultPlan,
     RecoveryPolicy,
 )
-from repro.obs import get_registry
+from repro.obs import get_logger, get_registry
 from repro.utils import format_seconds
 
 __all__ = [
@@ -204,6 +204,15 @@ class FaultInjector:
             registry.counter("faults.retry_s", kind=event.kind).inc(
                 retry_s
             )
+        log = get_logger()
+        if log.enabled:
+            log.warning(
+                "fault.recovered",
+                kind=event.kind,
+                step=event.step,
+                tile=event.tile,
+                retries=retries,
+            )
 
     def record_fatal(self, event: FaultEvent) -> None:
         """Mark *event* fatal (unrecovered)."""
@@ -216,6 +225,14 @@ class FaultInjector:
                     "faults.injected", kind=event.kind
                 ).inc()
             registry.counter("faults.fatal", kind=event.kind).inc()
+        log = get_logger()
+        if log.enabled:
+            log.error(
+                "fault.fatal",
+                kind=event.kind,
+                step=event.step,
+                tile=event.tile,
+            )
 
     def report(self) -> FaultReport:
         """Roll the ledger up into a :class:`FaultReport`."""

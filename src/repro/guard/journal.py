@@ -42,7 +42,9 @@ __all__ = ["JOURNAL_SCHEMA", "JournalEntry", "GridJournal", "cell_key"]
 
 #: Entry format tag; mixed into every key and checked on read, so a
 #: layout change invalidates old entries instead of misreading them.
-JOURNAL_SCHEMA = "repro.guard.journal/1"
+#: ``/2`` added the per-cell trace/log buffers, so a ``--resume``
+#: rebuilds the merged grid timeline bit-identically.
+JOURNAL_SCHEMA = "repro.guard.journal/2"
 
 
 def cell_key(worker: Callable, seed: int, index: int, config: Any) -> str:
@@ -65,7 +67,13 @@ def cell_key(worker: Callable, seed: int, index: int, config: Any) -> str:
 
 @dataclass(frozen=True)
 class JournalEntry:
-    """One journalled cell: its result plus the observability side-band."""
+    """One journalled cell: its result plus the observability side-band.
+
+    ``trace`` is the worker tracer's snapshot (spans + counters as plain
+    dicts, see :meth:`repro.obs.tracer.Tracer.snapshot`) and ``logs``
+    the worker's structured-log snapshot; both are empty when the cell
+    originally ran with observability disabled.
+    """
 
     key: str
     index: int
@@ -73,6 +81,8 @@ class JournalEntry:
     result: Any
     metrics: list[dict]
     cache_stats: dict
+    trace: dict
+    logs: list[dict]
 
 
 class GridJournal:
@@ -100,6 +110,8 @@ class GridJournal:
         result: Any,
         metrics: list[dict],
         cache_stats: dict,
+        trace: dict | None = None,
+        logs: list[dict] | None = None,
     ) -> Path:
         """Atomically append the completed cell under *key*."""
         payload = np.frombuffer(
@@ -113,6 +125,8 @@ class GridJournal:
             "config": repr(config),
             "metrics": list(metrics),
             "cache_stats": dict(cache_stats),
+            "trace": dict(trace) if trace else {},
+            "logs": list(logs) if logs else [],
         }
         return save_checkpoint(self._path(key), {"result": payload}, meta)
 
@@ -145,6 +159,8 @@ class GridJournal:
             result=result,
             metrics=list(meta.get("metrics", [])),
             cache_stats=dict(meta.get("cache_stats", {})),
+            trace=dict(meta.get("trace", {})),
+            logs=list(meta.get("logs", [])),
         )
 
     def keys(self) -> list[str]:

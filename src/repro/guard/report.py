@@ -72,6 +72,11 @@ class CellReport:
     wall_s: float = 0.0
     error: str | None = None
     from_journal: bool = False
+    # Observability recovered from the worker: spans/log events shipped
+    # back over the pipe — including what a failing attempt flushed
+    # before it died, so a quarantined cell is not a blind spot.
+    n_spans: int = 0
+    n_log_events: int = 0
 
     @property
     def ok(self) -> bool:
@@ -89,6 +94,8 @@ class CellReport:
             "crashes": self.crashes,
             "from_journal": self.from_journal,
             "error": self.error,
+            "n_spans": self.n_spans,
+            "n_log_events": self.n_log_events,
         }
 
 

@@ -18,10 +18,13 @@ The parent multiplexes all live workers with
 a running cell's deadline and (b) a backed-off retry's wake time.  An
 attempt ends in one of four ways:
 
-* **result** — the worker sent ``("ok", result, metrics, cache_stats)``;
-* **failure** — it sent ``("error", traceback, verdict)`` with the
-  transient/permanent verdict classified worker-side
-  (:func:`repro.guard.policy.classify_exception`);
+* **result** — the worker sent ``("ok", result, metrics, cache_stats,
+  trace, logs)``, the last two being its tracer/log snapshots
+  (:mod:`repro.obs.propagate`);
+* **failure** — it sent ``("error", traceback, verdict, trace, logs)``
+  with the transient/permanent verdict classified worker-side
+  (:func:`repro.guard.policy.classify_exception`) and whatever
+  observability the attempt flushed before dying;
 * **crash** — the pipe hit EOF without a message (``os._exit``, OOM
   kill, interpreter abort): the dead process is replaced and the cell
   retried as a transient failure;
@@ -37,11 +40,15 @@ bounding the blast radius of a misbehaving environment.
 Determinism
 -----------
 
-Results, metric merges and cache-stat merges are applied in config
-order after the grid completes — identical to the serial runner — and
-each cell's seed comes from the same ``SeedSequence.spawn`` walk, so a
-supervised run's results are bitwise equal to a clean serial run
-regardless of retries, kills or worker count.
+Results, metric merges, cache-stat merges and trace/log buffer merges
+are applied in config order after the grid completes — identical to the
+serial runner — and each cell's seed comes from the same
+``SeedSequence.spawn`` walk, so a supervised run's results are bitwise
+equal to a clean serial run regardless of retries, kills or worker
+count.  Worker span buffers land on ``cell{i}/...`` tracks under the
+grid's deterministic run id (:func:`repro.obs.context.derive_run_id`);
+the journal stores each cell's buffers, so ``--resume`` rebuilds the
+merged timeline bit-identically.
 """
 
 from __future__ import annotations
@@ -68,8 +75,11 @@ from repro.guard.report import (
     GridReport,
     record_report,
 )
-from repro.obs import get_tracer
+from repro.obs.context import TraceContext, context as trace_context, derive_run_id, worker_track
+from repro.obs.log import get_logger
 from repro.obs.metrics import MetricRegistry, collecting, get_registry
+from repro.obs.propagate import obs_spec, worker_observability
+from repro.obs.tracer import get_tracer
 
 __all__ = ["GUARD_TRACK", "run_supervised_grid"]
 
@@ -87,25 +97,45 @@ def _supervised_child(
     config: Any,
     seed_seq: np.random.SeedSequence,
     cache_dir: str | None,
+    spec: dict | None = None,
 ) -> None:
     """Child entry point: run one attempt, ship one message, exit.
 
     Mirrors ``bench.parallel._run_in_worker`` (fresh metric registry,
-    shared disk cache) but classifies failures while the live exception
-    object is still in hand — the verdict crosses the process boundary,
-    the exception type does not have to.
+    shared disk cache, per-cell observability from *spec*) but
+    classifies failures while the live exception object is still in
+    hand — the verdict crosses the process boundary, the exception type
+    does not have to.  The trace/log buffers are flushed into the
+    message on the failure path too, *before* ``conn.send`` — whatever
+    a dying attempt recorded reaches the supervisor instead of dying
+    with the process.
     """
     cache = (
         CompilationCache(path=cache_dir)
         if cache_dir is not None
         else CompilationCache()
     )
+    tracer, runlog = None, None
     try:
-        with collecting() as registry, caching(cache):
+        with collecting() as registry, caching(cache), \
+                worker_observability(spec) as (tracer, runlog):
             result = worker(config, seed_seq)
-        message = ("ok", result, registry.snapshot(), cache.stats.as_dict())
+        message = (
+            "ok",
+            result,
+            registry.snapshot(),
+            cache.stats.as_dict(),
+            tracer.snapshot(),
+            runlog.snapshot(),
+        )
     except Exception as exc:
-        message = ("error", traceback.format_exc(), classify_exception(exc))
+        message = (
+            "error",
+            traceback.format_exc(),
+            classify_exception(exc),
+            tracer.snapshot() if tracer is not None else {},
+            runlog.snapshot() if runlog is not None else [],
+        )
     try:
         conn.send(message)
     except Exception:
@@ -119,6 +149,8 @@ def _supervised_child(
                     f"result for config {config!r} is not picklable:\n"
                     f"{traceback.format_exc()}",
                     PERMANENT,
+                    tracer.snapshot() if tracer is not None else {},
+                    runlog.snapshot() if runlog is not None else [],
                 )
             )
         except Exception:
@@ -140,6 +172,8 @@ class _Cell:
     result: Any = None
     metrics: list = field(default_factory=list)
     cache_stats: dict | None = None
+    trace: dict = field(default_factory=dict)  # successful attempt's spans
+    logs: list = field(default_factory=list)  # successful attempt's events
     done: bool = False
     last_failure: str = ""  # "error" | "crash" | "timeout"
 
@@ -193,12 +227,15 @@ def run_supervised_grid(
     seed_seqs = np.random.SeedSequence(seed).spawn(len(configs))
     registry = registry if registry is not None else get_registry()
     tracer = get_tracer()
+    runlog = get_logger()
     parent_cache = get_cache()
     if cache_dir is None and parent_cache.enabled:
         cache_dir = parent_cache.path
     cache_dir = str(cache_dir) if cache_dir is not None else None
 
     grid_name = name or getattr(worker, "__qualname__", "grid")
+    run_id = derive_run_id(grid_name, seed, len(configs))
+    parent_ctx = TraceContext(run_id=run_id, parent_span=grid_name)
     report = GridReport(name=grid_name)
     journal = (
         GridJournal(policy.journal_dir)
@@ -220,17 +257,29 @@ def run_supervised_grid(
 
     # -- resume pre-pass: serve journalled cells without executing them.
     if journal is not None and policy.resume:
-        for cell in cells:
-            entry = journal.lookup(cell.key)
-            if entry is None:
-                continue
-            cell.result = entry.result
-            cell.metrics = entry.metrics
-            cell.cache_stats = entry.cache_stats
-            cell.done = True
-            cell.report.status = STATUS_OK
-            cell.report.from_journal = True
-            report.journal_hits += 1
+        with trace_context(parent_ctx):
+            for cell in cells:
+                entry = journal.lookup(cell.key)
+                if entry is None:
+                    continue
+                cell.result = entry.result
+                cell.metrics = entry.metrics
+                cell.cache_stats = entry.cache_stats
+                # The journalled trace/log buffers replay through the
+                # same post-grid merge as a live worker's, which is
+                # what makes a resumed timeline bit-identical.
+                cell.trace = entry.trace
+                cell.logs = entry.logs
+                cell.done = True
+                cell.report.status = STATUS_OK
+                cell.report.from_journal = True
+                report.journal_hits += 1
+                if runlog.enabled:
+                    runlog.info(
+                        "guard.journal_hit",
+                        config=cell.report.config,
+                        cell=cell.index,
+                    )
 
     pending: list[_Cell] = [c for c in cells if not c.done]
     waiting: list[tuple[float, int, _Cell]] = []  # (wake time, index, cell)
@@ -252,7 +301,14 @@ def run_supervised_grid(
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_supervised_child,
-            args=(child_conn, worker, cell.config, cell.seed_seq, cache_dir),
+            args=(
+                child_conn,
+                worker,
+                cell.config,
+                cell.seed_seq,
+                cache_dir,
+                obs_spec(run_id, grid_name, cell.index),
+            ),
             daemon=True,
         )
         proc.start()
@@ -285,6 +341,23 @@ def run_supervised_grid(
             outcome=outcome,
         )
 
+    def absorb_failed_buffers(
+        cell: _Cell, trace_snap: dict, log_snap: list
+    ) -> None:
+        """Keep what a failing attempt flushed before it died.
+
+        Merged immediately (successful attempts merge post-grid in
+        config order) onto an attempt-suffixed track — a retried cell's
+        dead attempts stay distinguishable from its final clean run —
+        and counted on the cell report, so a quarantined cell still
+        shows how far it got.
+        """
+        cell.report.n_spans += len(trace_snap.get("spans", ()))
+        cell.report.n_log_events += len(log_snap)
+        prefix = f"{worker_track(cell.index)}.a{cell.attempt}"
+        tracer.merge_snapshot(trace_snap, prefix=prefix)
+        runlog.merge_snapshot(log_snap, worker=cell.index)
+
     def note_rebuild(cell: _Cell) -> None:
         """A worker process had to be replaced (crash or deadline kill)."""
         nonlocal max_workers
@@ -297,6 +370,12 @@ def run_supervised_grid(
         ):
             report.serial_fallback = True
             max_workers = 1
+            if runlog.enabled:
+                runlog.warning(
+                    "guard.serial_fallback",
+                    f"{report.pool_rebuilds} pool rebuilds exceeded the "
+                    f"budget; degrading to one worker",
+                )
 
     def retry_or_quarantine(cell: _Cell, kind: str, detail: str) -> None:
         """Schedule a transient retry, or hand down the final verdict."""
@@ -309,11 +388,27 @@ def run_supervised_grid(
             cell.report.backoff_s = cell.report.backoff_s + (delay,)
             waiting.append((time.monotonic() + delay, cell.index, cell))
             waiting.sort(key=lambda item: (item[0], item[1]))
+            if runlog.enabled:
+                runlog.warning(
+                    "guard.retry",
+                    kind,
+                    cell=cell.index,
+                    attempt=cell.attempt,
+                    backoff_s=delay,
+                )
         else:
             status = (
                 STATUS_TIMED_OUT if kind == "timeout" else STATUS_QUARANTINED
             )
             finalize(cell, status, error=detail)
+            if runlog.enabled:
+                runlog.error(
+                    "guard.quarantine",
+                    detail.strip().splitlines()[-1] if detail else "",
+                    cell=cell.index,
+                    status=status,
+                    attempts=cell.attempt,
+                )
 
     def handle_message(run: _Running) -> None:
         cell = run.cell
@@ -325,9 +420,18 @@ def run_supervised_grid(
         _reap(run)
         if message is None:
             # Died without a word: os._exit, SIGKILL, interpreter abort.
+            # Nothing to salvage — the buffers died unsent with the
+            # process (the except-path flush only covers exceptions).
             exitcode = run.process.exitcode
             cell.report.crashes += 1
             attempt_span(cell, wall, "crash")
+            if runlog.enabled:
+                runlog.error(
+                    "guard.crash",
+                    f"exit code {exitcode}",
+                    cell=cell.index,
+                    attempt=cell.attempt,
+                )
             note_rebuild(cell)
             retry_or_quarantine(
                 cell,
@@ -337,10 +441,14 @@ def run_supervised_grid(
             )
             return
         if message[0] == "ok":
-            _, result, metrics, cache_stats = message
+            _, result, metrics, cache_stats, trace_snap, log_snap = message
             cell.result = result
             cell.metrics = metrics
             cell.cache_stats = cache_stats
+            cell.trace = trace_snap
+            cell.logs = log_snap
+            cell.report.n_spans += len(trace_snap.get("spans", ()))
+            cell.report.n_log_events += len(log_snap)
             attempt_span(cell, wall, "ok")
             finalize(
                 cell,
@@ -354,14 +462,25 @@ def run_supervised_grid(
                     result,
                     metrics,
                     cache_stats,
+                    trace=trace_snap,
+                    logs=log_snap,
                 )
             return
-        _, detail, verdict = message
+        _, detail, verdict, trace_snap, log_snap = message
         attempt_span(cell, wall, "error")
+        absorb_failed_buffers(cell, trace_snap, log_snap)
         if verdict == TRANSIENT:
             retry_or_quarantine(cell, "error", detail)
         else:
             finalize(cell, STATUS_QUARANTINED, error=detail)
+            if runlog.enabled:
+                runlog.error(
+                    "guard.quarantine",
+                    detail.strip().splitlines()[-1] if detail else "",
+                    cell=cell.index,
+                    status=STATUS_QUARANTINED,
+                    attempts=cell.attempt,
+                )
 
     def handle_deadline(run: _Running) -> None:
         cell = run.cell
@@ -371,6 +490,14 @@ def run_supervised_grid(
         if registry.enabled:
             registry.counter("guard.timeouts").inc()
         attempt_span(cell, wall, "timeout")
+        if runlog.enabled:
+            runlog.error(
+                "guard.timeout",
+                f"killed after {wall:.1f}s against a "
+                f"{policy.cell_timeout_s:g}s deadline",
+                cell=cell.index,
+                attempt=cell.attempt,
+            )
         note_rebuild(cell)
         retry_or_quarantine(
             cell,
@@ -379,38 +506,44 @@ def run_supervised_grid(
             f"{policy.cell_timeout_s:g}s cell deadline on every attempt",
         )
 
-    try:
-        while pending or waiting or running:
-            now = time.monotonic()
-            while waiting and waiting[0][0] <= now:
-                _, _, cell = waiting.pop(0)
-                pending.append(cell)
-            while pending and len(running) < max_workers:
-                launch(pending.pop(0))
+    # The parent context makes every supervisor-side log event (retry,
+    # quarantine, crash, ...) carry the grid's deterministic run id.
+    with trace_context(parent_ctx):
+        try:
+            while pending or waiting or running:
+                now = time.monotonic()
+                while waiting and waiting[0][0] <= now:
+                    _, _, cell = waiting.pop(0)
+                    pending.append(cell)
+                while pending and len(running) < max_workers:
+                    launch(pending.pop(0))
 
-            bounds = [r.deadline for r in running.values() if r.deadline]
-            if waiting:
-                bounds.append(waiting[0][0])
-            now = time.monotonic()
-            timeout = max(0.0, min(bounds) - now) if bounds else None
+                bounds = [r.deadline for r in running.values() if r.deadline]
+                if waiting:
+                    bounds.append(waiting[0][0])
+                now = time.monotonic()
+                timeout = max(0.0, min(bounds) - now) if bounds else None
 
-            if running:
-                ready = connection_wait(list(running), timeout=timeout)
-                for conn in ready:
-                    handle_message(running.pop(conn))
-            elif waiting:
-                # Nothing live, first retry still backing off: sleep it out.
-                time.sleep(max(0.0, waiting[0][0] - time.monotonic()))
+                if running:
+                    ready = connection_wait(list(running), timeout=timeout)
+                    for conn in ready:
+                        handle_message(running.pop(conn))
+                elif waiting:
+                    # Nothing live, first retry still backing off: sleep it
+                    # out.
+                    time.sleep(max(0.0, waiting[0][0] - time.monotonic()))
 
-            now = time.monotonic()
-            for conn, run in list(running.items()):
-                if run.deadline is not None and run.deadline <= now:
-                    handle_deadline(running.pop(conn))
-    finally:
-        for run in running.values():
-            _reap(run, kill=True)
+                now = time.monotonic()
+                for conn, run in list(running.items()):
+                    if run.deadline is not None and run.deadline <= now:
+                        handle_deadline(running.pop(conn))
+        finally:
+            for run in running.values():
+                _reap(run, kill=True)
 
     # -- deterministic merge: config order, exactly like the serial path.
+    # Successful cells' trace/log buffers (live or journalled) land on
+    # their cell{i}/... tracks here, regardless of completion order.
     results: list[Any] = []
     for cell in cells:
         results.append(cell.result)
@@ -418,5 +551,14 @@ def run_supervised_grid(
             registry.merge_snapshot(cell.metrics)
         if cell.cache_stats and parent_cache.enabled:
             parent_cache.stats.merge(cell.cache_stats)
+        if cell.trace:
+            tracer.merge_snapshot(
+                cell.trace, prefix=worker_track(cell.index)
+            )
+        if cell.logs:
+            runlog.merge_snapshot(cell.logs, worker=cell.index)
+        if cell.report.from_journal:
+            cell.report.n_spans += len(cell.trace.get("spans", ()))
+            cell.report.n_log_events += len(cell.logs)
     record_report(report)
     return results, report

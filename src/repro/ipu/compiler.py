@@ -37,7 +37,7 @@ from repro.cache import (
 from repro.ipu.graph import Graph
 from repro.ipu.machine import IPUSpec
 from repro.ipu.memplan import MemoryPlan, plan_memory as _plan_memory
-from repro.obs import get_registry, get_tracer
+from repro.obs import get_logger, get_registry, get_tracer
 from repro.obs.metrics import DEFAULT_BYTES_EDGES
 from repro.utils import format_bytes
 
@@ -532,6 +532,15 @@ def _raise_oom(
 ) -> None:
     bad = report.over_capacity_tiles()
     degraded = f" with {len(excluded)} tiles excluded" if excluded else ""
+    log = get_logger()
+    if log.enabled:
+        log.error(
+            "compile.oom",
+            graph=name,
+            over_capacity_tiles=len(bad),
+            peak_tile_bytes=report.peak_tile_bytes,
+            usable_tile_bytes=report.spec.usable_tile_memory,
+        )
     raise IPUOutOfMemoryError(
         f"graph {name!r} exceeds tile memory on {len(bad)} tiles"
         f"{degraded} (peak {format_bytes(report.peak_tile_bytes)} vs "

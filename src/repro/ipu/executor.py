@@ -46,7 +46,7 @@ from repro.faults.plan import (
 from repro.ipu.compiler import CompiledGraph
 from repro.ipu.exchange import ExchangeModel
 from repro.ipu.vertices import CODELETS, vertex_cycles
-from repro.obs import get_registry, get_tracer
+from repro.obs import get_logger, get_registry, get_tracer
 from repro.utils import format_seconds
 
 __all__ = ["StepTiming", "ExecutionReport", "Executor"]
@@ -248,12 +248,29 @@ class Executor:
                 if timing.kind != "compute":
                     continue
                 self.injector.record_fatal(event)
+                log = get_logger()
+                if log.enabled:
+                    log.error(
+                        "executor.abort",
+                        "permanent tile death",
+                        step=step_index,
+                        tile=event.tile,
+                    )
                 raise PermanentTileFault(event)
             if event.kind == TRANSIENT_COMPUTE:
                 if timing.kind != "compute":
                     continue
                 if event.severity > policy.max_retries:
                     self.injector.record_fatal(event)
+                    log = get_logger()
+                    if log.enabled:
+                        log.error(
+                            "executor.abort",
+                            "retry budget exhausted",
+                            step=step_index,
+                            tile=event.tile,
+                            max_retries=policy.max_retries,
+                        )
                     raise UnrecoveredFaultError(event, policy.max_retries)
                 # Each failed attempt: backoff, then re-run the whole
                 # superstep (compute + re-exchange + resync); one final

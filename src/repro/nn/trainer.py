@@ -22,7 +22,7 @@ from repro.nn.losses import accuracy, cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
 from repro.nn.tensor import Tensor, no_grad
-from repro.obs import get_registry, get_tracer
+from repro.obs import get_logger, get_registry, get_tracer
 
 __all__ = ["NumericsError", "TrainingHistory", "Trainer"]
 
@@ -171,6 +171,16 @@ class Trainer:
                 rolled_back = ckpt_step
         if registry.enabled:
             registry.counter("trainer.numerics_errors").inc()
+        log = get_logger()
+        if log.enabled:
+            log.error(
+                "trainer.numerics_rollback",
+                f"non-finite {'gradient' if param else 'loss'}",
+                epoch=epoch,
+                step=step,
+                param=param,
+                rolled_back_to_step=rolled_back,
+            )
         what = (
             f"gradient of parameter {param!r} is non-finite"
             if param is not None
@@ -497,8 +507,24 @@ class Trainer:
                             ),
                         )
                     registry.counter("trainer.checkpoint_writes").inc()
+                    log = get_logger()
+                    if log.enabled:
+                        log.info(
+                            "trainer.checkpoint",
+                            epoch=epoch + 1,
+                            step=history.steps,
+                        )
                 if registry.enabled:
                     registry.counter("trainer.epochs").inc()
+                log = get_logger()
+                if log.enabled:
+                    log.info(
+                        "trainer.epoch",
+                        epoch=epoch + 1,
+                        epochs=epochs,
+                        loss=history.train_loss[-1],
+                        accuracy=history.train_accuracy[-1],
+                    )
                 if verbose:
                     msg = (
                         f"epoch {epoch + 1}/{epochs} "
@@ -510,7 +536,7 @@ class Trainer:
                             f" val_loss={history.val_loss[-1]:.4f} "
                             f"val_acc={history.val_accuracy[-1]:.3f}"
                         )
-                    print(msg)
+                    print(msg)  # noqa: T201
             history.wall_time_s = history.train_time_s + history.val_time_s
             if tracer.enabled:
                 fit_span.attributes.update(

@@ -39,13 +39,42 @@ from repro.obs.tracer import (
     SpanRecord,
     Tracer,
     get_tracer,
+    jsonable,
     set_tracer,
     tracing,
+)
+from repro.obs.context import (
+    ROOT_CONTEXT,
+    TraceContext,
+    context,
+    derive_run_id,
+    get_context,
+    set_context,
+    worker_track,
+)
+from repro.obs.log import (
+    LOG_SCHEMA,
+    NULL_LOG,
+    LogEvent,
+    NullLogger,
+    RunLog,
+    get_logger,
+    logging,
+    read_jsonl,
+    set_logger,
+    to_jsonl,
+    write_jsonl,
 )
 from repro.obs.export import (
     flame_summary,
     to_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.timeline import (
+    render_timeline_html,
+    spans_from_chrome_trace,
+    spans_from_manifest,
+    write_timeline_html,
 )
 from repro.obs.metrics import (
     NULL_REGISTRY,
@@ -63,6 +92,7 @@ from repro.obs.report import (
     ManifestError,
     build_manifest,
     cache_section,
+    logs_section,
     read_manifest,
     render_report,
     smoke_manifest,
@@ -77,11 +107,34 @@ __all__ = [
     "SpanRecord",
     "Tracer",
     "get_tracer",
+    "jsonable",
     "set_tracer",
     "tracing",
+    "ROOT_CONTEXT",
+    "TraceContext",
+    "context",
+    "derive_run_id",
+    "get_context",
+    "set_context",
+    "worker_track",
+    "LOG_SCHEMA",
+    "NULL_LOG",
+    "LogEvent",
+    "NullLogger",
+    "RunLog",
+    "get_logger",
+    "logging",
+    "read_jsonl",
+    "set_logger",
+    "to_jsonl",
+    "write_jsonl",
     "flame_summary",
     "to_chrome_trace",
     "write_chrome_trace",
+    "render_timeline_html",
+    "spans_from_chrome_trace",
+    "spans_from_manifest",
+    "write_timeline_html",
     "NULL_REGISTRY",
     "Counter",
     "Gauge",
@@ -95,6 +148,7 @@ __all__ = [
     "ManifestError",
     "build_manifest",
     "cache_section",
+    "logs_section",
     "read_manifest",
     "render_report",
     "smoke_manifest",

@@ -8,32 +8,15 @@ Load the written file in ``chrome://tracing`` or https://ui.perfetto.dev.
 
 from __future__ import annotations
 
+import fnmatch
 import json
 import pathlib
 
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import Tracer, jsonable as _jsonable
 
 __all__ = ["to_chrome_trace", "write_chrome_trace", "flame_summary"]
 
 _PID = 1
-
-
-def _jsonable(value: object) -> object:
-    """Coerce attribute values (numpy scalars included) to JSON types."""
-    if isinstance(value, (str, bool, int, float)) or value is None:
-        return value
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    for caster in (int, float):
-        try:
-            cast = caster(value)  # numpy integer / floating
-        except (TypeError, ValueError):
-            continue
-        if cast == value:
-            return cast
-    return str(value)
 
 
 def to_chrome_trace(tracer: Tracer) -> dict:
@@ -104,18 +87,29 @@ def _format_s(seconds: float) -> str:
     return f"{seconds * 1e9:.1f} ns"
 
 
-def flame_summary(tracer: Tracer, max_rows: int = 40) -> str:
+def flame_summary(
+    tracer: Tracer, max_rows: int = 40, track: str | None = None
+) -> str:
     """Aggregate spans by name per track, heaviest first.
 
     The text analogue of a flame graph's top table: for each track, every
     span name with its call count, total/mean time and share of the
-    track's top-level time.
+    track's top-level time.  *track* restricts the summary to tracks
+    matching a glob pattern (``cell3/*``, ``*/ipu``) — the way to keep a
+    merged multi-worker grid trace readable; rows carry their track name
+    so filtered and merged views stay self-describing.
     """
     lines: list[str] = []
-    for track in tracer.tracks():
-        spans = tracer.spans_on(track)
+    selected = [
+        name
+        for name in tracer.tracks()
+        if track is None or fnmatch.fnmatchcase(name, track)
+    ]
+    for name in selected:
+        spans = tracer.spans_on(name)
         if not spans:
             continue
+        track_label = name
         top_level_total = sum(
             s.duration_s for s in spans if s.depth == 0
         ) or sum(s.duration_s for s in spans)
@@ -125,17 +119,18 @@ def flame_summary(tracer: Tracer, max_rows: int = 40) -> str:
             bucket[0] += span.duration_s
             bucket[1] += 1
         ranked = sorted(totals.items(), key=lambda kv: -kv[1][0])
-        lines.append(f"[{track}] total {_format_s(top_level_total)}")
+        lines.append(f"[{track_label}] total {_format_s(top_level_total)}")
         header = f"  {'span':<40s} {'calls':>6s} {'total':>12s} " \
-                 f"{'mean':>12s} {'share':>7s}"
+                 f"{'mean':>12s} {'share':>7s}  track"
         lines.append(header)
         lines.append("  " + "-" * (len(header) - 2))
-        for name, (total, calls) in ranked[:max_rows]:
+        for span_name, (total, calls) in ranked[:max_rows]:
             share = total / top_level_total if top_level_total > 0 else 0.0
             lines.append(
-                f"  {name[:40]:<40s} {int(calls):>6d} "
+                f"  {span_name[:40]:<40s} {int(calls):>6d} "
                 f"{_format_s(total):>12s} "
                 f"{_format_s(total / calls):>12s} {share:>6.1%}"
+                f"  {track_label}"
             )
         if len(ranked) > max_rows:
             # No-silent-caps: capped output must say it is capped.
@@ -144,4 +139,6 @@ def flame_summary(tracer: Tracer, max_rows: int = 40) -> str:
                 f"(of {len(ranked)}; raise max_rows to see all)"
             )
         lines.append("")
+    if not lines and track is not None:
+        return f"(no tracks match {track!r})"
     return "\n".join(lines).rstrip("\n") or "(empty trace)"

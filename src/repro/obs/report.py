@@ -38,6 +38,7 @@ __all__ = [
     "guard_section",
     "memory_section",
     "liveness_section",
+    "logs_section",
     "hot_spans",
     "write_manifest",
     "read_manifest",
@@ -181,6 +182,26 @@ def liveness_section(liveness) -> dict:
     }
 
 
+def logs_section(log) -> dict:
+    """The structured-log section of a manifest.
+
+    *log* is a :class:`~repro.obs.log.RunLog` (duck-typed to keep the
+    import graph flat).  Counts only — event timestamps are wall clock,
+    so including them would break the ``--jobs 4`` vs ``--jobs 1``
+    manifest bit-identity the determinism tests assert; the full event
+    stream lives in the sibling ``repro.log/1`` JSONL file.
+    """
+    from repro.obs.log import LOG_SCHEMA
+
+    return {
+        "schema": LOG_SCHEMA,
+        "events": len(log.events),
+        "dropped": int(log.dropped),
+        "by_level": log.by_level(),
+        "by_event": log.by_event(),
+    }
+
+
 def hot_spans(tracer: Tracer, top_k: int = 20) -> list[dict]:
     """The *top_k* heaviest (track, span-name) aggregates of a trace."""
     totals: dict[tuple[str, str], list[float]] = {}
@@ -213,6 +234,7 @@ def build_manifest(
     seed: int | None = None,
     top_k: int = 20,
     guard=None,
+    log=None,
 ) -> dict:
     """Join metrics, trace and compiler data into one ``repro.run/1`` dict.
 
@@ -222,7 +244,9 @@ def build_manifest(
     and contributes a ``cache`` section whenever that cache is enabled.
     *guard* is a list of :class:`~repro.guard.GridReport` (typically
     from ``guard.reporting()``); a non-empty list contributes a
-    ``guard`` section.
+    ``guard`` section.  *log* is a :class:`~repro.obs.log.RunLog`; an
+    enabled one contributes a ``logs`` section (absent when logging is
+    off, so disabled-path manifests are byte-identical to before).
     """
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
@@ -252,6 +276,8 @@ def build_manifest(
         manifest["cache"] = cache_section(cache)
     if guard:
         manifest["guard"] = guard_section(guard)
+    if log is not None and log.enabled:
+        manifest["logs"] = logs_section(log)
     return manifest
 
 
@@ -421,6 +447,22 @@ def render_report(manifest: dict) -> str:
                     f"    cell {event['index']} [{event['config']}]: "
                     f"{event['status']} (attempts={event['attempts']})"
                 )
+        lines.append("")
+
+    logs = manifest.get("logs")
+    if logs is not None:
+        levels = "  ".join(
+            f"{lvl}: {n}" for lvl, n in logs.get("by_level", {}).items()
+        )
+        lines.append(
+            f"structured log [{logs.get('schema', '?')}]  "
+            f"{logs.get('events', 0)} events"
+            + (f"  (dropped {logs['dropped']})" if logs.get("dropped") else "")
+        )
+        if levels:
+            lines.append(f"  {levels}")
+        for event, count in logs.get("by_event", {}).items():
+            lines.append(f"    {event:<38s} x{count}")
         lines.append("")
 
     live = manifest.get("liveness")

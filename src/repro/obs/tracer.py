@@ -30,10 +30,34 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "tracing",
+    "jsonable",
 ]
 
 #: The track name used for wall-clock spans.
 HOST_TRACK = "host"
+
+
+def jsonable(value: object) -> object:
+    """Coerce a value (numpy scalars included) to plain JSON types.
+
+    Span attributes, counter samples and log-event fields cross process
+    and file boundaries (pipe messages, journal entries, JSONL logs), so
+    they are normalised to JSON scalars/lists/dicts at snapshot time.
+    """
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    for caster in (int, float):
+        try:
+            cast = caster(value)  # numpy integer / floating
+        except (TypeError, ValueError):
+            continue
+        if cast == value:
+            return cast
+    return str(value)
 
 
 @dataclass
@@ -52,6 +76,30 @@ class SpanRecord:
     def end_s(self) -> float:
         return self.start_s + self.duration_s
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (the unit of the cross-process span buffer)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "track": self.track,
+            "start_s": float(self.start_s),
+            "duration_s": float(self.duration_s),
+            "depth": int(self.depth),
+            "attributes": jsonable(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> SpanRecord:
+        return cls(
+            name=data["name"],
+            category=data.get("category", ""),
+            track=data.get("track", HOST_TRACK),
+            start_s=float(data.get("start_s", 0.0)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            depth=int(data.get("depth", 0)),
+            attributes=dict(data.get("attributes", {})),
+        )
+
 
 @dataclass(frozen=True)
 class CounterRecord:
@@ -61,6 +109,23 @@ class CounterRecord:
     track: str
     time_s: float
     values: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "track": self.track,
+            "time_s": float(self.time_s),
+            "values": jsonable(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> CounterRecord:
+        return cls(
+            name=data["name"],
+            track=data.get("track", HOST_TRACK),
+            time_s=float(data.get("time_s", 0.0)),
+            values=dict(data.get("values", {})),
+        )
 
 
 class Tracer:
@@ -170,6 +235,63 @@ class Tracer:
             CounterRecord(name=name, track=track, time_s=time_s, values=values)
         )
 
+    # -- cross-process buffers -------------------------------------------------
+
+    def current_span(self) -> SpanRecord | None:
+        """The innermost still-open host span, or ``None``.
+
+        The structured log (:mod:`repro.obs.log`) stamps this span's
+        name onto events so log lines correlate with the span tree.
+        """
+        return self._host_stack[-1] if self._host_stack else None
+
+    def snapshot(self) -> dict:
+        """The whole trace as one JSON-/pickle-ready buffer.
+
+        This is what a grid worker ships back over its result pipe (and
+        what the guard journal persists per cell): every span and
+        counter as plain dicts.  :meth:`merge_snapshot` is the inverse.
+        """
+        return {
+            "spans": [span.as_dict() for span in self.spans],
+            "counters": [c.as_dict() for c in self.counters],
+        }
+
+    def merge_snapshot(self, snapshot: dict, prefix: str | None = None) -> None:
+        """Fold another tracer's :meth:`snapshot` into this one.
+
+        With *prefix*, every merged record's track is remapped to
+        ``{prefix}/{track}`` — the grid runners use the cell's
+        :func:`~repro.obs.context.worker_track` so each cell's spans
+        land on their own track group in the merged timeline.  Merged
+        span times keep the **worker's** clock origin (they are not
+        re-based onto the parent's wall clock), which is what makes a
+        ``--resume`` replay of journalled buffers bit-identical to the
+        live run that produced them.  Track cursors advance past the
+        merged spans so later virtual spans never overlap them.
+        """
+        if not snapshot:
+            return
+        for data in snapshot.get("spans", ()):
+            record = SpanRecord.from_dict(data)
+            if prefix:
+                record.track = f"{prefix}/{record.track}"
+            self.spans.append(record)
+            if record.depth == 0:
+                self._cursors[record.track] = max(
+                    self.cursor(record.track), record.end_s
+                )
+        for data in snapshot.get("counters", ()):
+            counter = CounterRecord.from_dict(data)
+            if prefix:
+                counter = CounterRecord(
+                    name=counter.name,
+                    track=f"{prefix}/{counter.track}",
+                    time_s=counter.time_s,
+                    values=counter.values,
+                )
+            self.counters.append(counter)
+
     # -- introspection ---------------------------------------------------------
 
     def tracks(self) -> list[str]:
@@ -234,6 +356,15 @@ class NullTracer(Tracer):
         return _NULL_SPAN_CONTEXT.__enter__()
 
     def counter(self, name, values, track=HOST_TRACK, time_s=None):
+        return None
+
+    def current_span(self) -> SpanRecord | None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {"spans": [], "counters": []}
+
+    def merge_snapshot(self, snapshot, prefix=None) -> None:
         return None
 
     def tracks(self) -> list[str]:

@@ -85,6 +85,17 @@ def _unpicklable_worker(config, seed_seq):
     return lambda: None  # functions defined here cannot cross the pipe
 
 
+def _traced_failing_worker(config, seed_seq):
+    # Emits a span and a log event *before* dying, so the partial
+    # buffers must still come back over the pipe (satellite 1).
+    from repro.obs import get_logger, get_tracer
+
+    (n,) = config
+    with get_tracer().span("doomed.setup", category="test"):
+        get_logger().info("test.progress", n=n)
+    raise ValueError(f"poisoned {n}")
+
+
 # -- pathologies ---------------------------------------------------------------
 
 
@@ -358,3 +369,58 @@ def test_guard_counters_account_for_events(tmp_path):
     assert by_name["guard.pool_rebuilds"]["value"] == 1
     assert "guard.timeouts" not in by_name  # no deadline was hit
     assert "guard.quarantined" not in by_name
+
+
+# -- partial observability on failure ------------------------------------------
+
+
+def test_failed_cell_ships_partial_observability():
+    from repro import obs
+
+    configs = [(1,), (2,)]
+    with obs.tracing() as tracer, obs.logging() as runlog:
+        results, report = run_supervised_grid(
+            _traced_failing_worker,
+            configs,
+            policy=GuardPolicy(retries=0),
+            jobs=2,
+            seed=0,
+        )
+    assert results == [None, None]
+    assert not report.ok
+    # The failing attempts' buffers were flushed before the error was
+    # reported, counted onto the cell reports...
+    for cell in report.cells:
+        assert cell.status == STATUS_QUARANTINED
+        assert cell.n_spans >= 1
+        assert cell.n_log_events >= 1
+    # ...and merged under attempt-qualified cell tracks.
+    doomed_tracks = {
+        s.track for s in tracer.spans if s.name == "doomed.setup"
+    }
+    assert len(doomed_tracks) == 2
+    for track in doomed_tracks:
+        cell, _, rest = track.partition(".")
+        assert cell in {"cell0", "cell1"}
+        assert rest.startswith("a")
+    # The worker's own log events carry their cell index, and the
+    # supervisor logged the quarantine verdicts alongside them.
+    progress = [e for e in runlog.events if e.event == "test.progress"]
+    assert sorted(e.worker for e in progress) == [0, 1]
+    assert all(e.run_id for e in progress)
+    quarantines = [
+        e for e in runlog.events if e.event == "guard.quarantine"
+    ]
+    assert len(quarantines) == 2
+    assert all(e.level == "error" for e in quarantines)
+
+
+def test_observability_off_ships_nothing():
+    # With instruments disabled nothing is counted: the disabled path
+    # records no buffers at all (null-object contract end to end).
+    results, report = run_supervised_grid(
+        _plain_worker, [(1,)], policy=GuardPolicy(), jobs=2, seed=0
+    )
+    assert results[0] is not None
+    assert report.cells[0].n_spans == 0
+    assert report.cells[0].n_log_events == 0

@@ -69,6 +69,29 @@ class TestFlameSummary:
         assert "[host]" in text and "[ipu]" in text
         assert "host_work" in text and "step0" in text
 
+    def test_rows_carry_track_labels(self):
+        text = obs.flame_summary(sample_tracer())
+        (row,) = [
+            line for line in text.splitlines() if "step0" in line
+        ]
+        assert row.rstrip().endswith("ipu")
+
+    def test_track_filter_glob(self):
+        text = obs.flame_summary(sample_tracer(), track="ipu")
+        assert "step0" in text
+        assert "host_work" not in text
+        # Globs select merged grid-cell tracks too.
+        tracer = sample_tracer()
+        parent = obs.Tracer()
+        parent.merge_snapshot(tracer.snapshot(), prefix="cell2")
+        filtered = obs.flame_summary(parent, track="cell*/ipu")
+        assert "step0" in filtered
+        assert "host_work" not in filtered
+
+    def test_track_filter_no_match_says_so(self):
+        text = obs.flame_summary(sample_tracer(), track="gpu*")
+        assert "no tracks match" in text
+
     def test_heaviest_first(self):
         tracer = obs.Tracer()
         tracer.add_span("small", 1e-6, "dev")

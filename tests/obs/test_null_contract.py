@@ -1,10 +1,10 @@
-"""Contract tests: the null tracer/registry mirror the real public API.
+"""Contract tests: the null tracer/registry/logger mirror the real API.
 
-Instrumented code must never branch on the tracer's (or registry's)
-type: every public method of the real class needs an explicit no-op
-override on its null twin, so a future method added to `Tracer` or
-`MetricRegistry` without a null override fails here instead of silently
-inheriting stateful behavior.
+Instrumented code must never branch on the tracer's (or registry's, or
+logger's) type: every public method of the real class needs an explicit
+no-op override on its null twin, so a future method added to `Tracer`,
+`MetricRegistry` or `RunLog` without a null override fails here instead
+of silently inheriting stateful behavior.
 """
 
 import inspect
@@ -90,3 +90,40 @@ class TestNullRegistryContract:
         obs.NULL_REGISTRY.histogram("h").observe(1.0)
         assert obs.NULL_REGISTRY.snapshot() == []
         assert obs.NULL_REGISTRY._metrics == {}
+
+
+class TestNullLoggerContract:
+    def test_every_public_method_overridden(self):
+        for name in public_methods(obs.RunLog):
+            assert name in vars(obs.NullLogger), (
+                f"RunLog.{name} has no explicit NullLogger override; "
+                "add a no-op so instrumented code never branches on "
+                "logger type"
+            )
+
+    def test_no_extra_public_surface(self):
+        assert public_methods(obs.NullLogger) <= public_methods(obs.RunLog)
+
+    def test_all_calls_are_noops(self):
+        log = obs.NullLogger()
+        assert log.log("e", "m", level="error", k=1) is None
+        assert log.debug("e") is None
+        assert log.info("e") is None
+        assert log.warning("e") is None
+        assert log.error("e") is None
+        assert log.events == []
+        assert log.dropped == 0
+        assert log.now() == 0.0
+        assert log.snapshot() == []
+        assert log.by_event() == {}
+        assert log.by_level() == {}
+        assert not log.enabled
+
+    def test_singleton_state_never_leaks(self):
+        obs.NULL_LOG.error("boom", oops=True)
+        obs.NULL_LOG.merge_snapshot(
+            [{"seq": 0, "time_s": 0.0, "level": "info", "event": "x"}],
+            worker=1,
+        )
+        assert obs.NULL_LOG.events == []
+        assert obs.NULL_LOG.dropped == 0

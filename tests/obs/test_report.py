@@ -89,6 +89,37 @@ class TestBuildManifest:
         json.dumps(manifest, allow_nan=False)
 
 
+class TestLogsSection:
+    def test_counts_only_no_timestamps(self):
+        log = obs.RunLog()
+        log.warning("guard.retry", cell=1)
+        log.warning("guard.retry", cell=2)
+        log.error("guard.quarantine", cell=2)
+        section = obs.logs_section(log)
+        assert section == {
+            "schema": obs.LOG_SCHEMA,
+            "events": 3,
+            "dropped": 0,
+            "by_level": {"warning": 2, "error": 1},
+            "by_event": {"guard.quarantine": 1, "guard.retry": 2},
+        }
+
+    def test_manifest_gains_logs_only_when_log_active(self):
+        log = obs.RunLog()
+        log.info("cache.miss")
+        with_log = obs.build_manifest("unit", log=log)
+        assert with_log["logs"]["events"] == 1
+        assert "logs" not in obs.build_manifest("unit")
+        assert "logs" not in obs.build_manifest("unit", log=obs.NULL_LOG)
+
+    def test_render_report_shows_log_summary(self):
+        log = obs.RunLog()
+        log.warning("guard.retry", cell=1)
+        text = obs.render_report(obs.build_manifest("unit", log=log))
+        assert "structured log" in text
+        assert "guard.retry" in text
+
+
 class TestRoundTrip:
     def test_write_read_identical(self, manifest, tmp_path):
         path = obs.write_manifest(manifest, tmp_path / "m.json")
