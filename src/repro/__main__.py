@@ -11,6 +11,8 @@ Usage::
     python -m repro trace fig6 --jobs 2  # tracer + log + HTML timeline
     python -m repro timeline fig6.trace.json   # re-render the timeline
     python -m repro chaos --seed 0       # fault-injection suite
+    python -m repro fuzz --cases 50      # differential fuzzer + oracles
+    python -m repro fuzz --cases 25 --shrink   # + minimised reproducers
     python -m repro report run.json      # render a repro.run/1 manifest
     python -m repro report --smoke       # deterministic smoke manifest
     python -m repro regress NEW BASE     # perf-regression gate (CI)
@@ -643,6 +645,124 @@ def chaos_main(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+def fuzz_main(argv: list[str]) -> int:
+    """``python -m repro fuzz``: the seeded differential fuzzer."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Generate seeded random workloads and check that "
+        "every independent pipeline path agrees: factored vs dense "
+        "layers, planned vs unplanned memory, cached vs cold compiles, "
+        "serial vs guarded-parallel grids, recovered vs clean chaos "
+        "runs.  Failures are delta-debugged (--shrink) to minimal "
+        "reproducers.  Exits 1 on any disagreement — see "
+        "docs/VERIFICATION.md.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed (default 0)"
+    )
+    parser.add_argument(
+        "--cases",
+        type=int,
+        default=50,
+        metavar="K",
+        help="number of generated cases (default 50)",
+    )
+    parser.add_argument(
+        "--start",
+        type=int,
+        default=0,
+        metavar="I",
+        help="first case index (cases are pure in (seed, index))",
+    )
+    parser.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named oracle (repeatable; default: all "
+        "applicable per case)",
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug each failure to a minimal reproducer",
+    )
+    parser.add_argument(
+        "--corpus",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="where --shrink writes reproducer JSONs "
+        "(default: benchmarks/output/corpus)",
+    )
+    parser.add_argument(
+        "--plant",
+        default=None,
+        metavar="BUG",
+        help="activate a known-bad mutation for the whole run "
+        "(fuzzer self-test; see repro.verify.hooks.PLANTS)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="also write DIR/fuzz.txt and a repro.run/1 DIR/fuzz.json "
+        "manifest with a verify section",
+    )
+    args = parser.parse_args(argv)
+    # Imported lazily: the fuzzer pulls in every pipeline subsystem.
+    from repro.verify import ORACLES, run_fuzz
+    from repro.verify.hooks import PLANTS
+
+    if args.cases < 1:
+        parser.error(f"--cases must be >= 1, got {args.cases}")
+    unknown = [o for o in (args.oracle or []) if o not in ORACLES]
+    if unknown:
+        parser.error(
+            f"unknown oracle(s) {unknown}; choose from "
+            f"{', '.join(ORACLES)}"
+        )
+    if args.plant is not None and args.plant not in PLANTS:
+        parser.error(
+            f"unknown plant {args.plant!r}; choose from "
+            f"{', '.join(PLANTS)}"
+        )
+    corpus_dir = args.corpus
+    if args.shrink and corpus_dir is None:
+        corpus_dir = _default_output_dir() / "corpus"
+    with obs.tracing() as tracer, obs.collecting() as registry:
+        report = run_fuzz(
+            seed=args.seed,
+            cases=args.cases,
+            oracles=args.oracle,
+            shrink=args.shrink,
+            corpus_dir=corpus_dir if args.shrink else None,
+            plant=args.plant,
+            start=args.start,
+        )
+    print(report.render())
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "fuzz.txt").write_text(report.render() + "\n")
+        manifest = obs.build_manifest(
+            "fuzz",
+            registry=registry,
+            tracer=tracer,
+            config={
+                "cases": args.cases,
+                "start": args.start,
+                "shrink": args.shrink,
+                "oracles": sorted(args.oracle) if args.oracle else "all",
+                **({"plant": args.plant} if args.plant else {}),
+            },
+            seed=args.seed,
+            verify=report,
+        )
+        path = obs.write_manifest(manifest, args.out / "fuzz.json")
+        print(f"\n[manifest: {path}]")
+    return 0 if report.ok else 1
+
+
 def report_main(argv: list[str]) -> int:
     """``python -m repro report``: render (or produce) a run manifest."""
     parser = argparse.ArgumentParser(
@@ -780,6 +900,10 @@ SUBCOMMANDS: dict[str, Subcommand] = {
     ),
     "chaos": Subcommand(
         chaos_main, "fault-injection & recovery suite (RESILIENCE.md)"
+    ),
+    "fuzz": Subcommand(
+        fuzz_main,
+        "seeded differential fuzzer + oracles (VERIFICATION.md)",
     ),
     "report": Subcommand(
         report_main, "render a repro.run/1 manifest (or --smoke)"

@@ -160,7 +160,18 @@ def _copy_cycles(vertex: Vertex, spec: IPUSpec) -> float:
 
 def _execute_copy(vertex: Vertex, state: dict[str, np.ndarray]) -> None:
     src, dst = vertex.inputs[0], vertex.outputs[0]
-    state[dst.var][dst.key] = np.array(state[src.var][src.key], copy=True)
+    s = state[src.var][src.key]
+    d = state[dst.var][dst.key]
+    if s.shape == d.shape:
+        d[...] = s
+        return
+    # Pad/slice copy between differently-shaped activations (rectangular
+    # butterfly lowerings): the overlapping prefix of the feature axis is
+    # copied and any padding is zero-filled, matching the layer-level
+    # zero-pad / truncate algebra.
+    width = min(s.shape[-1], d.shape[-1])
+    d[...] = 0.0
+    d[..., :width] = s[..., :width]
 
 
 register_codelet(Codelet("Copy", _copy_cycles, _execute_copy))

@@ -58,13 +58,15 @@ class DataLoader:
     Iterating yields ``(x_batch, y_batch)`` numpy pairs.  Reshuffles each
     epoch from its own generator so epochs differ but runs are reproducible.
 
-    An integer (or ``None``) seed is expanded into a *spawned* child
-    stream rather than used directly: experiment drivers routinely pass
-    one seed to both :func:`train_val_split` and their loaders, and with
-    ``default_rng(seed)`` on both sides the validation-split permutation
-    and the first epoch's shuffle would be the *same* permutation.  The
-    spawned stream is still deterministic per seed but independent of
-    every direct ``default_rng(seed)`` consumer.
+    The seed is expanded into a *spawned* child stream rather than used
+    directly: experiment drivers routinely pass one seed (or one
+    generator) to both :func:`train_val_split` and their loaders, and
+    with the same stream on both sides the validation-split permutation
+    and the first epoch's shuffle would be the *same* permutation.  This
+    holds for every accepted seed type — an ``np.random.Generator`` is
+    spawned from just like an integer or ``None``, so handing a shared
+    generator to several loaders gives each an independent stream while
+    leaving the caller's generator untouched.
     """
 
     def __init__(
@@ -82,7 +84,7 @@ class DataLoader:
         self.shuffle = shuffle
         self.drop_last = drop_last
         if isinstance(seed, np.random.Generator):
-            self.rng = seed
+            self.rng = seed.spawn(1)[0]
         else:
             self.rng = np.random.default_rng(
                 np.random.SeedSequence(seed).spawn(1)[0]

@@ -89,6 +89,17 @@ class Optimizer:
         return None
 
 
+def _nesterov_direction(
+    grad: np.ndarray, momentum: float, velocity: np.ndarray
+) -> np.ndarray:
+    """PyTorch nesterov look-ahead: ``g + mu * v`` with the freshly
+    updated buffer — not ``(1 + mu) * v``.  Module-level so the fuzzer's
+    planted-bug hook (:mod:`repro.verify.hooks`) can swap in the
+    historical wrong formula and prove the optimizer oracle catches it.
+    """
+    return grad + momentum * velocity
+
+
 class SGD(Optimizer):
     """Stochastic gradient descent with classical momentum.
 
@@ -134,9 +145,9 @@ class SGD(Optimizer):
                     self._velocity[i] *= self.momentum
                     self._velocity[i] += g
                 if self.nesterov:
-                    # PyTorch nesterov: update with g + mu * v, where v
-                    # is the freshly updated buffer — not (1 + mu) * v.
-                    g = grad + self.momentum * self._velocity[i]
+                    g = _nesterov_direction(
+                        grad, self.momentum, self._velocity[i]
+                    )
                 else:
                     g = self._velocity[i]
             p.data -= self.lr * g

@@ -96,6 +96,7 @@ from repro.obs.report import (
     read_manifest,
     render_report,
     smoke_manifest,
+    verify_section,
     write_manifest,
 )
 from repro.obs.regress import Tolerance, regress
@@ -152,6 +153,7 @@ __all__ = [
     "read_manifest",
     "render_report",
     "smoke_manifest",
+    "verify_section",
     "write_manifest",
     "Tolerance",
     "regress",

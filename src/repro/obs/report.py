@@ -39,6 +39,7 @@ __all__ = [
     "memory_section",
     "liveness_section",
     "logs_section",
+    "verify_section",
     "hot_spans",
     "write_manifest",
     "read_manifest",
@@ -202,6 +203,42 @@ def logs_section(log) -> dict:
     }
 
 
+def verify_section(report) -> dict:
+    """The differential-fuzzer section of a manifest.
+
+    *report* is a :class:`~repro.verify.runner.FuzzReport` (duck-typed
+    to keep :mod:`repro.verify` out of this module's import graph).
+    Per-failure entries carry the ``(seed, index)`` coordinates, so any
+    failure in a stored manifest regenerates bit-identically with
+    ``python -m repro fuzz --seed S --cases 1`` from that index.
+    """
+    failures = []
+    for failure in report.failures:
+        entry = {
+            "index": int(failure.index),
+            "oracle": failure.oracle,
+            "detail": failure.detail,
+            "shrink_steps": int(failure.shrink_steps),
+        }
+        if failure.corpus_path:
+            entry["reproducer"] = failure.corpus_path
+        failures.append(entry)
+    section = {
+        "schema": "repro.verify/1",
+        "seed": int(report.seed),
+        "cases": int(report.n_cases),
+        "ok": bool(report.ok),
+        "oracles_run": {
+            name: int(runs) for name, runs in report.oracles_run.items()
+        },
+        "failures": failures,
+        "shrink_steps": int(report.shrink_steps),
+    }
+    if report.plant:
+        section["plant"] = report.plant
+    return section
+
+
 def hot_spans(tracer: Tracer, top_k: int = 20) -> list[dict]:
     """The *top_k* heaviest (track, span-name) aggregates of a trace."""
     totals: dict[tuple[str, str], list[float]] = {}
@@ -235,6 +272,7 @@ def build_manifest(
     top_k: int = 20,
     guard=None,
     log=None,
+    verify=None,
 ) -> dict:
     """Join metrics, trace and compiler data into one ``repro.run/1`` dict.
 
@@ -247,6 +285,8 @@ def build_manifest(
     ``guard`` section.  *log* is a :class:`~repro.obs.log.RunLog`; an
     enabled one contributes a ``logs`` section (absent when logging is
     off, so disabled-path manifests are byte-identical to before).
+    *verify* is a :class:`~repro.verify.runner.FuzzReport` and
+    contributes a ``repro.verify/1`` ``verify`` section.
     """
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
@@ -278,6 +318,8 @@ def build_manifest(
         manifest["guard"] = guard_section(guard)
     if log is not None and log.enabled:
         manifest["logs"] = logs_section(log)
+    if verify is not None:
+        manifest["verify"] = verify_section(verify)
     return manifest
 
 
@@ -463,6 +505,33 @@ def render_report(manifest: dict) -> str:
             lines.append(f"  {levels}")
         for event, count in logs.get("by_event", {}).items():
             lines.append(f"    {event:<38s} x{count}")
+        lines.append("")
+
+    verify = manifest.get("verify")
+    if verify is not None:
+        lines.append(
+            f"verify [{verify.get('schema', '?')}]  "
+            f"seed={verify.get('seed')} cases={verify.get('cases')}  "
+            + (
+                "all oracles agree"
+                if verify.get("ok")
+                else f"{len(verify.get('failures', []))} FAILURES"
+            )
+            + (
+                f"  (plant={verify['plant']})"
+                if verify.get("plant")
+                else ""
+            )
+        )
+        for name, runs in verify.get("oracles_run", {}).items():
+            lines.append(f"  {name:<38s} x{runs}")
+        for failure in verify.get("failures", []):
+            lines.append(
+                f"  FAIL case {failure['index']} "
+                f"[{failure['oracle']}]: {failure['detail']}"
+            )
+            if failure.get("reproducer"):
+                lines.append(f"    reproducer: {failure['reproducer']}")
         lines.append("")
 
     live = manifest.get("liveness")

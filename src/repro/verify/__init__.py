@@ -1,0 +1,68 @@
+"""Seeded differential fuzzer + conformance oracles (docs/VERIFICATION.md).
+
+The pipeline grown in PRs 1–8 has five independently-correct-looking
+paths: dense vs factored layers, planned vs unplanned memory, cached vs
+fresh compiles, serial vs guarded-parallel grids, and faulted-recovered
+vs clean executions.  This package manufactures random workloads
+(:mod:`repro.verify.gen`), asserts all paths agree
+(:mod:`repro.verify.oracles`), and delta-debugs any disagreement down to
+a minimal committed reproducer (:mod:`repro.verify.shrink`).
+
+Entry points::
+
+    python -m repro fuzz --cases 50 --seed 0           # the CLI loop
+    python -m repro fuzz --cases 25 --shrink           # + minimisation
+
+    from repro.verify import run_fuzz
+    report = run_fuzz(seed=0, cases=50)
+    assert report.ok
+
+Every case is a pure function of ``(seed, index)``, so any failure —
+local, in CI, or replayed from ``tests/corpus/`` — regenerates
+bit-identically.
+"""
+
+from repro.verify.gen import (
+    Case,
+    LayerSpec,
+    RunConfig,
+    build_model,
+    canonical_json,
+    case_from_dict,
+    case_to_dict,
+    generate_case,
+    generate_cases,
+)
+from repro.verify.oracles import ORACLES, Oracle, OracleFailure, check_case
+from repro.verify.runner import FuzzFailure, FuzzReport, run_fuzz
+from repro.verify.shrink import (
+    CORPUS_SCHEMA,
+    load_corpus,
+    make_predicate,
+    shrink,
+    write_reproducer,
+)
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "Case",
+    "FuzzFailure",
+    "FuzzReport",
+    "LayerSpec",
+    "ORACLES",
+    "Oracle",
+    "OracleFailure",
+    "RunConfig",
+    "build_model",
+    "canonical_json",
+    "case_from_dict",
+    "case_to_dict",
+    "check_case",
+    "generate_case",
+    "generate_cases",
+    "load_corpus",
+    "make_predicate",
+    "run_fuzz",
+    "shrink",
+    "write_reproducer",
+]

@@ -1,0 +1,68 @@
+"""Contract tests: the null cache mirrors the real cache API.
+
+Compiler code must never branch on the cache's type: every public
+method of :class:`CompilationCache` needs an explicit no-op override on
+:class:`NullCache`, so a future method added to the real cache without
+a null override fails here instead of silently inheriting stateful
+behavior.  Mirrors ``tests/obs/test_null_contract.py``.
+"""
+
+import inspect
+
+import numpy as np
+
+from repro.cache import NULL_CACHE, CompilationCache, NullCache
+from repro.cache.store import CacheRecord
+
+
+def public_methods(cls) -> set[str]:
+    return {
+        name
+        for name, member in inspect.getmembers(
+            cls, predicate=inspect.isfunction
+        )
+        if not name.startswith("_")
+    }
+
+
+def _record() -> CacheRecord:
+    return CacheRecord(arrays={"w": np.zeros(3)}, meta={"k": 1})
+
+
+class TestNullCacheContract:
+    def test_every_public_method_overridden(self):
+        for name in public_methods(CompilationCache):
+            assert name in vars(NullCache), (
+                f"CompilationCache.{name} has no explicit NullCache "
+                "override; add a no-op so compiler code never branches "
+                "on cache type"
+            )
+
+    def test_no_extra_public_surface(self):
+        assert public_methods(NullCache) <= public_methods(
+            CompilationCache
+        )
+
+    def test_disabled_and_memory_only(self):
+        cache = NullCache()
+        assert not cache.enabled
+        assert cache.path is None
+
+    def test_lookup_always_misses_silently(self):
+        cache = NullCache()
+        cache.store("key", _record())
+        assert cache.lookup("key") is None
+        assert len(cache) == 0
+        # Silent means silent: the uncached path must record *no*
+        # counters at all, or disabled runs grow cache metrics.
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        assert cache.stats.stores == 0
+        assert cache.stats.lookups == 0
+
+    def test_singleton_state_never_leaks(self):
+        NULL_CACHE.store("leak", _record())
+        NULL_CACHE.lookup("leak")
+        assert len(NULL_CACHE) == 0
+        assert NULL_CACHE._memory == {}
+        assert NULL_CACHE.stats.as_dict() == CompilationCache().stats.as_dict()

@@ -28,6 +28,10 @@ from tests.faults.test_executor_faults import (
     compute_step_indices,
 )
 
+# the whole chaos suite, subprocess kills included: excluded from the
+# `-m "not slow"` fast loop (docs/VERIFICATION.md).
+pytestmark = pytest.mark.slow
+
 
 class TestChaosExecute:
     def test_clean_plan_completes(self):

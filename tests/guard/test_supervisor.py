@@ -30,6 +30,10 @@ from repro.guard import (
 from repro.guard.journal import GridJournal, cell_key
 from repro.obs.metrics import collecting
 
+# real worker pools, deadlines and kills: excluded from the
+# `-m "not slow"` fast loop (docs/VERIFICATION.md).
+pytestmark = pytest.mark.slow
+
 
 # -- worker zoo ----------------------------------------------------------------
 

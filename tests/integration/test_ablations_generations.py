@@ -6,6 +6,10 @@ from repro.experiments import ablation, generations
 from repro.ipu.machine import GC2, GC200
 from repro.ipu.vertices import CODELETS
 
+# full ablation/generation sweeps: excluded from the
+# `-m "not slow"` fast loop (docs/VERIFICATION.md).
+pytestmark = pytest.mark.slow
+
 
 class TestStreamingAblation:
     def test_paper_conjecture_more_drastic(self):

@@ -5,6 +5,10 @@ import pytest
 
 from repro.__main__ import ARTEFACTS, SLOW, RunOptions, main
 
+# renders every fast artefact end to end: excluded from the
+# `-m "not slow"` fast loop (docs/VERIFICATION.md).
+pytestmark = pytest.mark.slow
+
 
 class TestCLI:
     def test_list(self, capsys):

@@ -9,6 +9,10 @@ from repro.core.pixelfly import block_butterfly_mask, flat_butterfly_mask
 from repro.experiments import fig6, generations, table4
 from repro.ipu.machine import GC2, GC200
 
+# experiment-scale grids: excluded from the
+# `-m "not slow"` fast loop (docs/VERIFICATION.md).
+pytestmark = pytest.mark.slow
+
 
 class TestFig6Internals:
     def test_render_memory_limits_from_precomputed(self):

@@ -10,6 +10,10 @@ from repro.gpu.simulator import GPUDevice
 from repro.ipu.machine import GC200
 from repro.ipu.poptorch import IPUModule
 
+# paper-scale compiles and a GPU OOM sweep: excluded from the
+# `-m "not slow"` fast loop (docs/VERIFICATION.md).
+pytestmark = pytest.mark.slow
+
 
 class TestObservation1:
     """Exchange latency/bandwidth depend on size, not tile distance."""

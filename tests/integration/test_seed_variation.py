@@ -14,6 +14,10 @@ import pytest
 from repro import nn
 from repro.datasets import SyntheticSpec, make_classification
 
+# trains across seeds: excluded from the
+# `-m "not slow"` fast loop (docs/VERIFICATION.md).
+pytestmark = pytest.mark.slow
+
 DIM = 256
 
 

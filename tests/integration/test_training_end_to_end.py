@@ -10,6 +10,10 @@ import pytest
 from repro import nn
 from repro.datasets import SyntheticSpec, make_classification
 
+# trains real models: excluded from the
+# `-m "not slow"` fast loop (docs/VERIFICATION.md).
+pytestmark = pytest.mark.slow
+
 
 DIM = 256
 

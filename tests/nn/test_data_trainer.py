@@ -109,14 +109,36 @@ class TestDataLoader:
         epoch_perm = next(iter(loader))[0]
         assert not np.array_equal(epoch_perm, split_perm)
 
-    def test_generator_seed_still_shared(self):
-        # Passing an explicit Generator keeps the shared-stream contract.
-        n = 16
+    def test_generator_seed_spawns_independent_stream(self):
+        # Regression: integer seeds were spawned into a child stream but
+        # an explicit Generator was adopted *directly*, so a driver
+        # handing one generator to the split and its loader got the
+        # same permutation on both sides — the exact aliasing the
+        # integer path already guarded against.
+        n = 64
         ds = ArrayDataset(np.arange(n), np.arange(n))
         rng = np.random.default_rng(9)
-        expected = np.random.default_rng(9).permutation(n)
+        direct_perm = np.random.default_rng(9).permutation(n)
         loader = DataLoader(ds, batch_size=n, seed=rng)
-        np.testing.assert_array_equal(next(iter(loader))[0], expected)
+        epoch_perm = next(iter(loader))[0]
+        assert not np.array_equal(epoch_perm, direct_perm)
+        # The caller's generator stream is left untouched by the spawn.
+        np.testing.assert_array_equal(rng.permutation(n), direct_perm)
+
+    def test_generator_seed_deterministic_and_distinct_per_loader(self):
+        n = 32
+        ds = ArrayDataset(np.arange(n), np.arange(n))
+        rng = np.random.default_rng(7)
+        a = next(iter(DataLoader(ds, batch_size=n, seed=rng)))[0]
+        b = next(iter(DataLoader(ds, batch_size=n, seed=rng)))[0]
+        # Two loaders sharing one generator draw *different* streams...
+        assert not np.array_equal(a, b)
+        # ...and the whole arrangement replays bit-identically.
+        rng2 = np.random.default_rng(7)
+        a2 = next(iter(DataLoader(ds, batch_size=n, seed=rng2)))[0]
+        b2 = next(iter(DataLoader(ds, batch_size=n, seed=rng2)))[0]
+        np.testing.assert_array_equal(a, a2)
+        np.testing.assert_array_equal(b, b2)
 
 
 class TestTrainer:

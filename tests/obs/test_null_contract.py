@@ -67,6 +67,29 @@ class TestNullRegistryContract:
                 "override; add a no-op"
             )
 
+    def test_no_extra_public_surface(self):
+        assert public_methods(obs.NullRegistry) <= public_methods(
+            obs.MetricRegistry
+        )
+
+    def test_all_calls_are_noops(self):
+        registry = obs.NullRegistry()
+        registry.counter("c", k=1).inc(3)
+        registry.gauge("g").set(2.0)
+        registry.histogram("h").observe(1.5)
+        registry.merge_snapshot(
+            [
+                {
+                    "name": "c",
+                    "labels": {},
+                    "type": "counter",
+                    "value": 1.0,
+                }
+            ]
+        )
+        assert registry.snapshot() == []
+        assert not registry.enabled
+
     def test_null_instruments_accept_all_instrument_calls(self):
         # Every public mutator of every real instrument must exist on
         # the shared null instrument, so call sites are type-blind.

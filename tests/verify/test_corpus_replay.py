@@ -1,0 +1,60 @@
+"""Replay every committed reproducer in ``tests/corpus/``.
+
+Corpus entries come in two flavours:
+
+* entries **without** a ``plant`` field are real, fixed bugs — replay
+  must *pass* on the clean tree (the regression stays fixed);
+* entries **with** a ``plant`` field were produced by a deliberately
+  planted bug (the fuzzer's self-test) — replay must *pass* clean and
+  *fail again* with the plant active, pinning the oracle's power to
+  detect that bug class.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.verify import OracleFailure, check_case, load_corpus
+from repro.verify.gen import canonical_json, generate_case
+from repro.verify.hooks import plant
+
+CORPUS_DIR = pathlib.Path(__file__).parent.parent / "corpus"
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def _ids():
+    return [path.name for path, _, _ in ENTRIES]
+
+
+class TestCorpusReplay:
+    def test_corpus_is_not_empty(self):
+        assert ENTRIES, "tests/corpus must hold at least one reproducer"
+
+    @pytest.mark.parametrize(
+        "path, entry, case", ENTRIES, ids=_ids()
+    )
+    def test_clean_tree_passes(self, path, entry, case):
+        check_case(case, oracles=[entry["oracle"]])
+
+    @pytest.mark.parametrize(
+        "path, entry, case",
+        [e for e in ENTRIES if "plant" in e[1]],
+        ids=[p.name for p, e, _ in ENTRIES if "plant" in e],
+    )
+    def test_plant_still_detected(self, path, entry, case):
+        with plant(entry["plant"]):
+            with pytest.raises(OracleFailure) as exc_info:
+                check_case(case, oracles=[entry["oracle"]])
+        assert exc_info.value.oracle == entry["oracle"]
+
+    @pytest.mark.parametrize(
+        "path, entry, case", ENTRIES, ids=_ids()
+    )
+    def test_unshrunk_coordinates_regenerate(self, path, entry, case):
+        # The stored case is the *shrunk* form, but its (seed, index)
+        # coordinates must still regenerate the original failing case.
+        original = generate_case(entry["seed"], entry["index"])
+        assert canonical_json(original)  # pure + serialisable
+        assert original.seed == case.seed
+        assert original.index == case.index

@@ -1,0 +1,103 @@
+"""The workload generator: purity, structure, serialisation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.verify import (
+    Case,
+    build_model,
+    canonical_json,
+    case_from_dict,
+    case_to_dict,
+    generate_case,
+    generate_cases,
+)
+from repro.verify.gen import ACTIVATIONS, DIMS, LAYER_KINDS, out_features
+
+
+class TestPurity:
+    def test_same_coordinates_same_case(self):
+        for index in range(20):
+            assert generate_case(3, index) == generate_case(3, index)
+
+    def test_canonical_json_is_byte_stable(self):
+        a = canonical_json(generate_case(0, 7))
+        b = canonical_json(generate_case(0, 7))
+        assert a == b
+
+    def test_independent_of_global_rng_state(self):
+        before = generate_case(1, 2)
+        np.random.seed(12345)
+        np.random.default_rng(0).random(1000)
+        assert generate_case(1, 2) == before
+
+    def test_distinct_indices_differ(self):
+        cases = generate_cases(0, 30)
+        assert len({canonical_json(c) for c in cases}) > 25
+
+    def test_distinct_seeds_differ(self):
+        assert generate_case(0, 0) != generate_case(1, 0)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("index", range(30))
+    def test_generated_cases_are_buildable(self, index):
+        case = generate_case(0, index)
+        model = build_model(case)
+        x = np.zeros((case.batch, case.in_features))
+        y = model(x)
+        assert y.data.shape == (case.batch, out_features(case))
+
+    def test_fields_within_catalogue(self):
+        for case in generate_cases(5, 40):
+            assert case.in_features in DIMS
+            assert 4 <= case.n_tiles <= 64
+            assert all(t < case.n_tiles for t in case.excluded_tiles)
+            for layer in case.layers:
+                assert layer.kind in LAYER_KINDS
+                assert layer.activation in ACTIVATIONS
+
+    def test_spec_reflects_case(self):
+        case = generate_case(0, 3)
+        spec = case.spec()
+        assert spec.n_tiles == case.n_tiles
+        assert spec.tile_memory_bytes == case.tile_memory_kib * 1024
+        assert spec.name == "fuzz-0-3"
+
+    def test_generator_covers_the_odd_corners(self):
+        # 200 cases must exercise faults, parallel grids, excluded
+        # tiles, the planner, and degenerate dims — the whole point of
+        # the generator.  Threshold is loose; the draw is seeded.
+        cases = generate_cases(0, 200)
+        assert any(c.run.faulted for c in cases)
+        assert any(c.run.jobs > 1 for c in cases)
+        assert any(c.excluded_tiles for c in cases)
+        assert any(c.run.plan_memory for c in cases)
+        assert any(not c.run.cache for c in cases)
+        assert any(c.in_features in (1, 3, 7) for c in cases)
+        kinds = {layer.kind for c in cases for layer in c.layers}
+        assert kinds == set(LAYER_KINDS)
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("index", range(20))
+    def test_dict_round_trip(self, index):
+        case = generate_case(2, index)
+        assert case_from_dict(case_to_dict(case)) == case
+
+    def test_round_trip_through_json_types(self):
+        import json
+
+        case = generate_case(2, 4)
+        rehydrated = case_from_dict(json.loads(canonical_json(case)))
+        assert rehydrated == case
+
+    def test_replace_keeps_frozen_semantics(self):
+        case = generate_case(0, 0)
+        smaller = dataclasses.replace(case, batch=1)
+        assert isinstance(smaller, Case)
+        assert smaller.batch == 1
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            case.batch = 2

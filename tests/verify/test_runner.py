@@ -1,0 +1,144 @@
+"""The fuzz loop and its CLI: metrics, spans, manifests, exit codes."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+from repro.verify import run_fuzz
+
+
+class TestRunFuzz:
+    def test_clean_tree_is_green(self):
+        report = run_fuzz(seed=0, cases=5)
+        assert report.ok
+        assert report.oracles_run["forward_dense"] == 5
+        assert "all oracles agree" in report.render()
+
+    def test_metrics_and_spans_recorded(self):
+        with obs.tracing() as tracer, obs.collecting() as registry:
+            run_fuzz(seed=0, cases=3)
+        snapshot = {
+            entry["name"]: entry["value"]
+            for entry in registry.snapshot()
+            if entry["name"].startswith("verify.")
+        }
+        assert snapshot["verify.cases"] == 3
+        spans = [s for s in tracer.spans if s.name == "verify.case"]
+        assert len(spans) == 3
+        assert {s.attributes["index"] for s in spans} == {0, 1, 2}
+        assert all(s.category == "verify" for s in spans)
+
+    def test_planted_run_counts_failures_and_shrinks(self, tmp_path):
+        with obs.collecting() as registry:
+            report = run_fuzz(
+                seed=0,
+                cases=2,
+                shrink=True,
+                corpus_dir=tmp_path,
+                plant="nesterov",
+            )
+        assert not report.ok
+        assert len(report.failures) == 2
+        assert report.shrink_steps > 0
+        for failure in report.failures:
+            assert failure.oracle == "optimizer_reference"
+            assert failure.shrunk is not None
+            assert failure.shrunk.n_layers <= 2
+            assert failure.corpus_path is not None
+        names = {e["name"]: e["value"] for e in registry.snapshot()}
+        assert names["verify.failures"] == 2
+        assert names["verify.shrink_steps"] == report.shrink_steps
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            run_fuzz(seed=0, cases=1, oracles=["nope"])
+
+    def test_start_offset_selects_indices(self):
+        report = run_fuzz(seed=0, cases=2, start=10)
+        assert report.ok
+        assert report.n_cases == 2
+
+
+class TestFuzzCLI:
+    def test_green_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--cases", "3", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "all oracles agree" in out
+
+    def test_planted_run_exits_one_and_writes_corpus(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "fuzz",
+                "--cases",
+                "1",
+                "--plant",
+                "nesterov",
+                "--shrink",
+                "--corpus",
+                str(tmp_path / "corpus"),
+                "--out",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL case 0" in out
+        assert list((tmp_path / "corpus").glob("*.json"))
+        manifest = json.loads((tmp_path / "out" / "fuzz.json").read_text())
+        verify = manifest["verify"]
+        assert verify["schema"] == "repro.verify/1"
+        assert verify["ok"] is False
+        assert verify["plant"] == "nesterov"
+        assert verify["failures"][0]["oracle"] == "optimizer_reference"
+        assert (tmp_path / "out" / "fuzz.txt").exists()
+
+    def test_manifest_verify_section_renders(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--cases",
+                    "2",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["report", str(tmp_path / "fuzz.json")]) == 0
+        out = capsys.readouterr().out
+        assert "verify [repro.verify/1]" in out
+        assert "all oracles agree" in out
+
+    def test_oracle_flag_restricts_run(self, capsys):
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--cases",
+                    "2",
+                    "--oracle",
+                    "forward_dense",
+                    "--oracle",
+                    "metamorphic_probe",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "forward_dense          x2" in out
+        assert "optimizer_reference    x0" in out
+
+    def test_bad_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--oracle", "nope"])
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--plant", "nope"])
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--cases", "0"])
