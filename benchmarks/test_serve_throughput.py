@@ -1,0 +1,81 @@
+"""Bench: replicas-per-budget and goodput under the serving simulator.
+
+The paper's memory claim, restated as a serving claim: at an equal
+device-memory budget and equal offered load, butterfly and pixelfly
+models fit strictly more replicas than dense and deliver strictly
+higher goodput (on-time completions per second).  The artefact records
+the full per-method summary table; the manifest carries the
+``repro.serve/1`` section so ``python -m repro regress`` can gate on
+goodput and tail latency drift.
+"""
+
+import dataclasses
+
+from repro.bench.reporting import Table
+from repro.serve import (
+    SERVE_METHODS,
+    ServeScenario,
+    record_metrics,
+    record_spans,
+    serve_worker,
+)
+
+#: The canonical smoke scenario: dim-512 3-layer MLP, 32 MiB budget,
+#: 400k offered rps — the same point ``python -m repro serve --smoke``
+#: pins, so the committed baseline and this bench agree.
+SCENARIO = ServeScenario(method="dense")
+
+
+def test_structured_replicas_and_goodput(save_artefact, _observed_run):
+    tracer, registry = _observed_run
+    results = [
+        serve_worker(
+            dataclasses.replace(SCENARIO, method=m).as_config()
+        )
+        for m in SERVE_METHODS
+    ]
+    record_metrics(results, registry)
+    record_spans(results, tracer)
+    by_method = {r["method"]: r for r in results}
+
+    dense = by_method["dense"]
+    for method in ("butterfly", "pixelfly"):
+        summary = by_method[method]
+        assert summary["n_replicas"] > dense["n_replicas"], (
+            f"{method} fits {summary['n_replicas']} replicas vs dense "
+            f"{dense['n_replicas']} at the same budget"
+        )
+        assert summary["goodput_rps"] > dense["goodput_rps"], (
+            f"{method} goodput {summary['goodput_rps']:.0f} rps vs "
+            f"dense {dense['goodput_rps']:.0f} at the same load"
+        )
+
+    table = Table(
+        title=(
+            "Serving at equal budget "
+            f"({SCENARIO.budget_bytes // 2**20} MiB, dim "
+            f"{SCENARIO.dim}, {SCENARIO.rate_rps:.0f} rps offered)"
+        ),
+        columns=[
+            "method",
+            "replica KiB",
+            "replicas",
+            "goodput rps",
+            "on-time",
+            "shed",
+            "p99 ms",
+            "occupancy",
+        ],
+    )
+    for summary in results:
+        table.add_row(
+            summary["method"],
+            f"{summary['replica_bytes'] / 1024:.1f}",
+            summary["n_replicas"],
+            f"{summary['goodput_rps']:.0f}",
+            f"{summary['on_time']}/{summary['requests']}",
+            sum(summary["shed"].values()),
+            f"{summary['latency_s']['p99'] * 1e3:.3f}",
+            f"{summary['occupancy']:.2f}",
+        )
+    save_artefact("serve_throughput", table.render())

@@ -30,6 +30,7 @@ import argparse
 import json
 import pathlib
 import sys
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -875,6 +876,184 @@ def regress_main(argv: list[str]) -> int:
     return 0 if result.ok else 1
 
 
+def serve_main(argv: list[str]) -> int:
+    """``python -m repro serve``: the inference-serving simulation."""
+    from repro.bench.parallel import run_grid
+    from repro.cache import NullCache
+    from repro.serve import (
+        SERVE_METHODS,
+        ServeScenario,
+        record_metrics,
+        record_spans,
+        serve_section,
+        serve_worker,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Simulate serving an open-loop request stream with "
+        "dense vs butterfly vs pixelfly replicas under one IPU memory "
+        "budget; writes a repro.run/1 manifest with a repro.serve/1 "
+        "section, a Chrome trace and an HTML timeline (one track per "
+        "replica).  Fully deterministic: same seed, byte-identical "
+        "manifest, at any --jobs — see docs/SERVING.md.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="pin the canonical baseline scenario (ignores the workload "
+        "flags below) — what CI runs and regress gates against",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload/fault seed"
+    )
+    parser.add_argument(
+        "--methods",
+        default=",".join(SERVE_METHODS),
+        help=f"comma-separated subset of {SERVE_METHODS} "
+        "(default: all three)",
+    )
+    parser.add_argument(
+        "--dim", type=int, default=512, help="model width (default 512)"
+    )
+    parser.add_argument(
+        "--budget-mb",
+        type=float,
+        default=32.0,
+        help="IPU memory budget per method, MiB (default 32)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=400,
+        help="requests in the stream (default 400)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=400000.0,
+        help="offered load, requests/s (default 400000)",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=("poisson", "burst"),
+        default="poisson",
+        help="arrival process (default poisson)",
+    )
+    parser.add_argument(
+        "--slo-ms",
+        type=float,
+        default=0.5,
+        help="per-request deadline, ms after arrival (default 0.5)",
+    )
+    parser.add_argument(
+        "--deaths",
+        type=int,
+        default=1,
+        help="replicas killed mid-run per method (default 1)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="output directory (default: benchmarks/output)",
+    )
+    _add_cache_flags(parser)
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    methods = [m for m in args.methods.split(",") if m]
+    unknown = [m for m in methods if m not in SERVE_METHODS]
+    if unknown:
+        parser.error(
+            f"unknown methods {unknown}; expected a subset of "
+            f"{SERVE_METHODS}"
+        )
+    if args.smoke:
+        # The canonical scenario: every flag but --seed/--jobs/--out
+        # pinned, so two smoke runs anywhere are byte-comparable.
+        scenario = ServeScenario(method="dense", seed=args.seed)
+        methods = list(SERVE_METHODS)
+    else:
+        scenario = ServeScenario(
+            method="dense",
+            dim=args.dim,
+            budget_bytes=args.budget_mb * 2**20,
+            n_requests=args.requests,
+            rate_rps=args.rate,
+            arrival=args.arrival,
+            slo_ms=args.slo_ms,
+            n_deaths=args.deaths,
+            seed=args.seed,
+        )
+    configs = [
+        dataclasses.replace(scenario, method=method).as_config()
+        for method in methods
+    ]
+
+    cache = _make_cache(args)
+    out_dir = args.out if args.out is not None else _default_output_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with caching(cache):
+        results = run_grid(
+            serve_worker,
+            configs,
+            jobs=args.jobs,
+            seed=args.seed,
+            name="serve",
+        )
+
+    # Presentation is rebuilt from the workers' plain dicts in method
+    # order, under fresh (non-ambient) instruments, and the manifest
+    # carries no cache/wall-clock sections and no --jobs in its config —
+    # which is why a --jobs 2 manifest is byte-identical to --jobs 1.
+    registry = obs.MetricRegistry()
+    tracer = obs.Tracer()
+    record_metrics(results, registry)
+    record_spans(results, tracer)
+    config = {
+        key: value
+        for key, value in configs[0].items()
+        if key != "method"
+    }
+    config["methods"] = ",".join(methods)
+    manifest = obs.build_manifest(
+        "serve",
+        registry=registry,
+        tracer=tracer,
+        cache=NullCache(),
+        config=config,
+        seed=args.seed,
+        serve=serve_section(results),
+    )
+    manifest_path = obs.write_manifest(manifest, out_dir / "serve.json")
+    text = obs.render_report(manifest)
+    (out_dir / "serve.txt").write_text(text + "\n")
+    print(text)
+
+    trace_path = obs.write_chrome_trace(
+        tracer, out_dir / "serve.trace.json"
+    )
+    spans, counters = obs.spans_from_chrome_trace(
+        obs.to_chrome_trace(tracer)
+    )
+    timeline_path = obs.write_timeline_html(
+        obs.render_timeline_html(
+            spans,
+            counters,
+            title="repro serve",
+            subtitle=f"seed={args.seed}, methods={','.join(methods)}",
+        ),
+        out_dir / "serve.timeline.html",
+    )
+    print(
+        f"\n[manifest: {manifest_path}; trace: {trace_path}; "
+        f"timeline: {timeline_path}]"
+    )
+    return 0
+
+
 # -- dispatch ------------------------------------------------------------------
 
 
@@ -904,6 +1083,11 @@ SUBCOMMANDS: dict[str, Subcommand] = {
     "fuzz": Subcommand(
         fuzz_main,
         "seeded differential fuzzer + oracles (VERIFICATION.md)",
+    ),
+    "serve": Subcommand(
+        serve_main,
+        "inference-serving simulation: replicas-per-budget & goodput "
+        "(SERVING.md)",
     ),
     "report": Subcommand(
         report_main, "render a repro.run/1 manifest (or --smoke)"

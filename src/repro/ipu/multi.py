@@ -89,13 +89,19 @@ def allreduce_time(
         raise ValueError(f"nbytes must be >= 0, got {nbytes}")
     if failed_links < 0:
         raise ValueError(f"failed_links must be >= 0, got {failed_links}")
-    if p == 1 or nbytes == 0:
+    if p == 1:
+        # A single replica has no ring to partition: any failed-link
+        # count is vacuously survivable and the collective is free.
         return 0.0
     if failed_links > 1:
+        # Checked before the zero-byte fast path: a partitioned ring is
+        # a topology error, not a free all-reduce of nothing.
         raise ValueError(
             f"{failed_links} failed links partition the {p}-IPU ring; "
             "all-reduce is impossible"
         )
+    if nbytes == 0:
+        return 0.0
     steps = 2 * (p - 1)
     payload = 2 * (p - 1) / p * nbytes
     bandwidth = machine.link_bandwidth

@@ -650,6 +650,39 @@ class IPUModule:
         """True iff the forward graph fits in tile memory."""
         return self.compile().memory.fits
 
+    def forward(self, x) -> "np.ndarray":
+        """Numeric forward of up to ``batch`` input rows.
+
+        The device executes one fixed compiled batch shape, so fewer
+        rows are padded with zeros up to ``batch`` before the model runs
+        and the padding rows are stripped from the result.  Because
+        every call goes through the *same* padded shape and every layer
+        this repo ships is row-independent, a batch of requests returns
+        bit-identical bytes to running each request alone — the
+        micro-batcher's correctness precondition, pinned down by the
+        ``batched_forward`` verify oracle and
+        ``tests/ipu/test_batched_forward.py``.
+        """
+        import numpy as np
+
+        from repro.nn.tensor import Tensor
+
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected (rows, {self.in_features}) input, "
+                f"got shape {x.shape}"
+            )
+        rows = x.shape[0]
+        if not 1 <= rows <= self.batch:
+            raise ValueError(
+                f"got {rows} rows; the compiled batch holds "
+                f"1..{self.batch}"
+            )
+        padded = np.zeros((self.batch, self.in_features), dtype=x.dtype)
+        padded[:rows] = x
+        return self.model(Tensor(padded)).data[:rows]
+
     def profile(self) -> GraphProfile:
         """Fig 5 / Fig 7 statistics of the forward graph."""
         return self.compile().profile()

@@ -95,6 +95,7 @@ from repro.obs.report import (
     logs_section,
     read_manifest,
     render_report,
+    serve_section,
     smoke_manifest,
     verify_section,
     write_manifest,
@@ -152,6 +153,7 @@ __all__ = [
     "logs_section",
     "read_manifest",
     "render_report",
+    "serve_section",
     "smoke_manifest",
     "verify_section",
     "write_manifest",

@@ -39,6 +39,7 @@ __all__ = [
     "memory_section",
     "liveness_section",
     "logs_section",
+    "serve_section",
     "verify_section",
     "hot_spans",
     "write_manifest",
@@ -239,6 +240,21 @@ def verify_section(report) -> dict:
     return section
 
 
+def serve_section(results) -> dict:
+    """The inference-serving section of a manifest.
+
+    *results* is a list of per-method result dicts from
+    :meth:`~repro.serve.server.ServeResult.as_dict`; the section itself
+    is built by :func:`repro.serve.report.serve_section` (duck-typed
+    passthrough here to keep :mod:`repro.serve` out of this module's
+    import graph).  Everything in it is simulated-clock output, so it
+    participates in the byte-identity guarantees like any other section.
+    """
+    from repro.serve.report import serve_section as build
+
+    return build(results)
+
+
 def hot_spans(tracer: Tracer, top_k: int = 20) -> list[dict]:
     """The *top_k* heaviest (track, span-name) aggregates of a trace."""
     totals: dict[tuple[str, str], list[float]] = {}
@@ -273,6 +289,7 @@ def build_manifest(
     guard=None,
     log=None,
     verify=None,
+    serve=None,
 ) -> dict:
     """Join metrics, trace and compiler data into one ``repro.run/1`` dict.
 
@@ -286,7 +303,9 @@ def build_manifest(
     enabled one contributes a ``logs`` section (absent when logging is
     off, so disabled-path manifests are byte-identical to before).
     *verify* is a :class:`~repro.verify.runner.FuzzReport` and
-    contributes a ``repro.verify/1`` ``verify`` section.
+    contributes a ``repro.verify/1`` ``verify`` section.  *serve* is an
+    already-built ``repro.serve/1`` section dict (see
+    :func:`repro.serve.report.serve_section`) and is carried verbatim.
     """
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
@@ -320,6 +339,8 @@ def build_manifest(
         manifest["logs"] = logs_section(log)
     if verify is not None:
         manifest["verify"] = verify_section(verify)
+    if serve is not None:
+        manifest["serve"] = dict(serve)
     return manifest
 
 
@@ -532,6 +553,33 @@ def render_report(manifest: dict) -> str:
             )
             if failure.get("reproducer"):
                 lines.append(f"    reproducer: {failure['reproducer']}")
+        lines.append("")
+
+    serve = manifest.get("serve")
+    if serve is not None:
+        lines.append(f"serving [{serve.get('schema', '?')}]")
+        for m in serve.get("methods", []):
+            shed = sum(m.get("shed", {}).values())
+            lat = m.get("latency_s", {})
+            lines.append(
+                f"  {m['method']:<10s} {m['n_replicas']:>3d} replicas x "
+                f"{format_bytes(m['replica_bytes'])} "
+                f"(budget {format_bytes(m['budget_bytes'])})"
+            )
+            lines.append(
+                f"    goodput: {m['goodput_rps']:,.0f} rps "
+                f"(offered {m['offered_rps']:,.0f})  "
+                f"on-time: {m['on_time']}/{m['requests']}  "
+                f"shed: {shed}  failed: {m['failed']}"
+            )
+            lines.append(
+                f"    latency p50/p95/p99: "
+                f"{format_seconds(lat.get('p50', 0.0))} / "
+                f"{format_seconds(lat.get('p95', 0.0))} / "
+                f"{format_seconds(lat.get('p99', 0.0))}  "
+                f"occupancy: {m['occupancy']:.0%}  "
+                f"deaths: {m['deaths']}  retries: {m['retries']}"
+            )
         lines.append("")
 
     live = manifest.get("liveness")

@@ -216,6 +216,36 @@ def backward_dense(case: Case) -> None:
     _agree("backward_dense", grads[0], grads[1], "input gradient")
 
 
+def batched_forward(case: Case) -> None:
+    """A batch forward is *bit-identical* to per-request forwards.
+
+    The serving micro-batcher packs independent requests into one
+    compiled batch and pads the remainder
+    (:mod:`repro.serve.batcher`), which is only sound if
+    :meth:`IPUModule.forward` gives every row the same bytes it would
+    get alone.  Padding to the fixed compiled batch keeps the BLAS call
+    shapes identical on both paths, so the comparison is exact equality
+    — not allclose.
+    """
+    from repro.ipu.poptorch import IPUModule
+
+    model = build_model(case)
+    module = IPUModule(
+        model, case.in_features, case.batch, spec=case.spec()
+    )
+    x = _case_input(case, 7)
+    batched = module.forward(x)
+    rows = [module.forward(x[i : i + 1]) for i in range(case.batch)]
+    sequential = np.vstack(rows)
+    if not np.array_equal(batched, sequential):
+        worst = float(np.max(np.abs(batched - sequential)))
+        raise OracleFailure(
+            "batched_forward",
+            f"batched forward differs from concatenated single-request "
+            f"forwards (max |delta| = {worst:.3e})",
+        )
+
+
 def metamorphic_linear(case: Case) -> None:
     """Superposition: activation-free models are affine maps."""
     from repro.nn.tensor import Tensor
@@ -639,6 +669,11 @@ ORACLES: dict[str, Oracle] = {
             "backward_dense",
             "input gradients equal the dense twin's",
             backward_dense,
+        ),
+        Oracle(
+            "batched_forward",
+            "batched forward bit-identical to per-request forwards",
+            batched_forward,
         ),
         Oracle(
             "metamorphic_linear",

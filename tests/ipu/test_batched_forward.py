@@ -1,0 +1,94 @@
+"""Batched-vs-sequential bit-identity: the micro-batcher's precondition.
+
+`IPUModule.forward` pads every call to the fixed compiled batch shape,
+so the BLAS call shapes are identical whether a row arrives alone or
+packed with others — and every layer family here is row-independent.
+Together that makes the comparison *exact* (``array_equal``, not
+allclose): serving a request in a shared micro-batch returns the same
+bytes as serving it alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.ipu.poptorch import IPUModule
+
+DIM = 64
+BATCH = 8
+
+
+def _layer(kind):
+    if kind == "dense":
+        return nn.Linear(DIM, DIM, seed=0)
+    if kind == "butterfly":
+        return nn.ButterflyLinear(DIM, DIM, seed=1)
+    if kind == "pixelfly":
+        return nn.PixelflyLinear(
+            DIM, seed=2, block_size=8, butterfly_size=4, rank=1
+        )
+    if kind == "lowrank":
+        return nn.LowRankLinear(DIM, DIM, rank=4, seed=3)
+    if kind == "circulant":
+        return nn.CirculantLinear(DIM, seed=4)
+    if kind == "fastfood":
+        return nn.FastfoodLinear(DIM, seed=5)
+    raise AssertionError(kind)
+
+
+ALL_KINDS = (
+    "dense",
+    "butterfly",
+    "pixelfly",
+    "lowrank",
+    "circulant",
+    "fastfood",
+)
+
+
+@pytest.fixture
+def x():
+    return np.random.default_rng(99).standard_normal((BATCH, DIM))
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_batched_equals_sequential_bitwise(kind, x):
+    model = nn.Sequential(_layer(kind), nn.ReLU(), _layer(kind))
+    module = IPUModule(model, in_features=DIM, batch=BATCH)
+    batched = module.forward(x)
+    sequential = np.vstack(
+        [module.forward(x[i : i + 1]) for i in range(BATCH)]
+    )
+    assert np.array_equal(batched, sequential)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_partial_batches_bit_identical_too(kind, x):
+    """Any split of the batch gives the same bytes — not just 1-row."""
+    model = nn.Sequential(_layer(kind), nn.Tanh())
+    module = IPUModule(model, in_features=DIM, batch=BATCH)
+    whole = module.forward(x)
+    parts = np.vstack([module.forward(x[:3]), module.forward(x[3:])])
+    assert np.array_equal(whole, parts)
+
+
+def test_forward_validates_shape():
+    module = IPUModule(
+        nn.Sequential(_layer("dense")), in_features=DIM, batch=BATCH
+    )
+    with pytest.raises(ValueError, match="expected"):
+        module.forward(np.zeros((2, DIM + 1)))
+    with pytest.raises(ValueError, match="rows"):
+        module.forward(np.zeros((BATCH + 1, DIM)))
+    with pytest.raises(ValueError, match="rows"):
+        module.forward(np.zeros((0, DIM)))
+
+
+def test_forward_matches_unpadded_full_batch():
+    from repro.nn.tensor import Tensor
+
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((BATCH, DIM))
+    model = nn.Sequential(_layer("butterfly"), nn.ReLU())
+    module = IPUModule(model, in_features=DIM, batch=BATCH)
+    assert np.array_equal(module.forward(x), model(Tensor(x)).data)

@@ -200,3 +200,53 @@ class TestStreaming:
         assert not dense.resident
         assert butterfly.resident
         assert butterfly.streaming_overhead < dense.streaming_overhead
+
+
+class TestEdgeCases:
+    """Single replicas, zero-byte payloads, fully-partitioned rings."""
+
+    def test_single_replica_partitioned_ring_is_vacuous(self):
+        # p=1 has no ring: any failed-link count is survivable and the
+        # collective is free, even with every link down.
+        assert allreduce_time(M2000, 10**6, n_ipus=1, failed_links=2) == 0.0
+        assert allreduce_time(M2000, 0, n_ipus=1, failed_links=3) == 0.0
+
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_all_links_failed_raises_even_for_zero_bytes(self, p):
+        # A partitioned ring is a topology error, not a free all-reduce
+        # of nothing — the zero-byte fast path must not mask it.
+        with pytest.raises(ValueError, match="partition"):
+            allreduce_time(M2000, 0, n_ipus=p, failed_links=2)
+
+    def test_zero_bytes_with_one_failed_link_is_free(self):
+        # Nothing to send: no retry timeout, no traversal.
+        assert allreduce_time(M2000, 0, n_ipus=4, failed_links=1) == 0.0
+
+    def test_data_parallel_single_replica_has_no_allreduce(self):
+        model = nn.Sequential(nn.Linear(256, 256, bias=False, seed=0))
+        report = data_parallel_step(model, 256, 8, n_ipus=1)
+        assert report.allreduce_s == 0.0
+        assert report.n_ipus == 1
+
+    def test_data_parallel_single_replica_survives_failed_links(self):
+        model = nn.Sequential(nn.Linear(256, 256, bias=False, seed=0))
+        report = data_parallel_step(
+            model, 256, 8, n_ipus=1, failed_links=2
+        )
+        assert report.allreduce_s == 0.0
+
+    def test_data_parallel_partitioned_ring_raises(self):
+        model = nn.Sequential(nn.Linear(256, 256, bias=False, seed=0))
+        with pytest.raises(ValueError, match="partition"):
+            data_parallel_step(model, 256, 8, n_ipus=4, failed_links=2)
+
+    def test_streaming_zero_parameter_model(self):
+        # A parameter-free model streams zero bytes: resident under any
+        # budget, zero stream time, and no division by zero anywhere.
+        report = streaming_step(
+            nn.Sequential(nn.ReLU()), 64, 8, weight_budget_bytes=0
+        )
+        assert report.param_bytes == 0
+        assert report.resident
+        assert report.stream_s == 0.0
+        assert report.step_s == report.compute_s

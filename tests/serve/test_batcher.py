@@ -1,0 +1,101 @@
+"""Micro-batcher policy: packing, triggers, padding accounting."""
+
+import pytest
+
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.workload import Request
+
+
+def _request(index, rows, arrival_s=0.0, slo_s=1.0):
+    return Request(
+        index=index,
+        arrival_s=arrival_s,
+        rows=rows,
+        deadline_s=arrival_s + slo_s,
+    )
+
+
+def _batcher(max_rows=8, max_delay_s=0.01):
+    return MicroBatcher(BatchPolicy(max_rows, max_delay_s))
+
+
+class TestTriggers:
+    def test_empty_queue_never_flushes(self):
+        assert _batcher().flush_reason(1e9) is None
+
+    def test_exact_fill_triggers_full(self):
+        b = _batcher(max_rows=8)
+        b.offer(_request(0, 4), 0.0)
+        assert b.flush_reason(0.0) is None
+        b.offer(_request(1, 4), 0.0)
+        assert b.flush_reason(0.0) == "full"
+
+    def test_maximal_partial_batch_triggers_full(self):
+        """7 of 8 rows with a 4-row request next: waiting buys nothing."""
+        b = _batcher(max_rows=8)
+        b.offer(_request(0, 4), 0.0)
+        b.offer(_request(1, 3), 0.0)
+        b.offer(_request(2, 4), 0.0)  # cannot extend the head batch
+        assert b.flush_reason(0.0) == "full"
+
+    def test_delay_trigger_uses_oldest_enqueue_time(self):
+        b = _batcher(max_rows=8, max_delay_s=0.01)
+        b.offer(_request(0, 2), 1.0)
+        assert b.flush_reason(1.005) is None
+        assert b.flush_reason(1.01) == "delay"
+        assert b.next_delay_flush_s() == pytest.approx(1.01)
+
+    def test_oversized_request_rejected(self):
+        b = _batcher(max_rows=4)
+        with pytest.raises(ValueError, match="rows"):
+            b.offer(_request(0, 5), 0.0)
+
+
+class TestFlush:
+    def test_flush_packs_whole_requests_fifo(self):
+        b = _batcher(max_rows=8)
+        for index, rows in enumerate((3, 3, 3)):
+            b.offer(_request(index, rows), 0.0)
+        batch = b.flush(0.0, "full")
+        assert [r.index for r in batch.requests] == [0, 1]
+        assert batch.rows == 6
+        assert batch.pad_rows == 2
+        assert batch.occupancy == pytest.approx(6 / 8)
+        # The request that did not fit stays queued.
+        assert b.queued_requests == 1
+        assert b.queued_rows == 3
+
+    def test_flush_empties_exact_fit(self):
+        b = _batcher(max_rows=6)
+        b.offer(_request(0, 2), 0.0)
+        b.offer(_request(1, 4), 0.0)
+        batch = b.flush(0.5, "delay")
+        assert batch.rows == 6
+        assert batch.pad_rows == 0
+        assert batch.formed_s == 0.5
+        assert batch.reason == "delay"
+        assert b.queued_requests == 0
+        assert b.queued_rows == 0
+
+    def test_flush_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            _batcher().flush(0.0, "drain")
+
+    def test_row_accounting_across_flushes(self):
+        b = _batcher(max_rows=4)
+        for index in range(6):
+            b.offer(_request(index, 2), 0.0)
+        total = 0
+        while b.queued_requests:
+            total += b.flush(0.0, "full").rows
+        assert total == 12
+
+
+class TestPolicyValidation:
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError, match="max_batch_rows"):
+            BatchPolicy(0, 0.01)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="max_delay_s"):
+            BatchPolicy(8, -1.0)

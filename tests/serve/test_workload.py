@@ -1,0 +1,111 @@
+"""The workload generator's determinism and distribution contracts."""
+
+import numpy as np
+import pytest
+
+from repro.serve.workload import (
+    Request,
+    WorkloadSpec,
+    generate_requests,
+    request_payload,
+)
+
+
+class TestDeterminism:
+    def test_same_spec_same_requests(self):
+        spec = WorkloadSpec(seed=3, n_requests=50)
+        assert generate_requests(spec) == generate_requests(spec)
+
+    def test_prefix_stability(self):
+        """Request i is pure in (seed, i): a longer run shares its prefix."""
+        short = generate_requests(WorkloadSpec(seed=1, n_requests=20))
+        long = generate_requests(WorkloadSpec(seed=1, n_requests=200))
+        assert long[:20] == short
+
+    def test_seed_changes_the_stream(self):
+        a = generate_requests(WorkloadSpec(seed=0, n_requests=30))
+        b = generate_requests(WorkloadSpec(seed=1, n_requests=30))
+        assert a != b
+
+    def test_payload_pure_in_coordinates(self):
+        spec = WorkloadSpec(seed=5, n_requests=10)
+        request = generate_requests(spec)[7]
+        first = request_payload(spec, request, 32)
+        again = request_payload(spec, request, 32)
+        assert np.array_equal(first, again)
+
+    def test_payload_independent_of_arrival_draws(self):
+        """Reading payloads never perturbs arrival times."""
+        spec = WorkloadSpec(seed=2, n_requests=15)
+        before = generate_requests(spec)
+        for request in before:
+            request_payload(spec, request, 16)
+        assert generate_requests(spec) == before
+
+
+class TestShape:
+    def test_arrivals_increase_and_deadlines_offset(self):
+        spec = WorkloadSpec(seed=0, n_requests=100, slo_s=0.01)
+        requests = generate_requests(spec)
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+        for r in requests:
+            assert r.deadline_s == pytest.approx(r.arrival_s + 0.01)
+
+    def test_rows_within_bounds(self):
+        spec = WorkloadSpec(seed=0, n_requests=200, rows_min=2, rows_max=5)
+        rows = {r.rows for r in generate_requests(spec)}
+        assert rows <= {2, 3, 4, 5}
+        assert len(rows) > 1
+
+    def test_mean_rate_approximates_offered_load(self):
+        spec = WorkloadSpec(seed=0, n_requests=2000, rate_rps=1000.0)
+        last = generate_requests(spec)[-1]
+        achieved = spec.n_requests / last.arrival_s
+        assert achieved == pytest.approx(1000.0, rel=0.1)
+
+    def test_burst_arrivals_are_denser_than_poisson(self):
+        base = WorkloadSpec(seed=0, n_requests=500, rate_rps=1000.0)
+        burst = WorkloadSpec(
+            seed=0,
+            n_requests=500,
+            rate_rps=1000.0,
+            arrival="burst",
+            burst_factor=8.0,
+        )
+        t_poisson = generate_requests(base)[-1].arrival_s
+        t_burst = generate_requests(burst)[-1].arrival_s
+        # The burst phases run at 8x the base rate, so the same request
+        # count lands in strictly less time.
+        assert t_burst < t_poisson
+
+    def test_payload_shape(self):
+        spec = WorkloadSpec(seed=0, n_requests=5)
+        request = generate_requests(spec)[0]
+        payload = request_payload(spec, request, 24)
+        assert payload.shape == (request.rows, 24)
+
+
+class TestValidation:
+    def test_rejects_unknown_arrival(self):
+        with pytest.raises(ValueError, match="arrival"):
+            WorkloadSpec(arrival="adversarial")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            WorkloadSpec(rate_rps=0.0)
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError, match="rows"):
+            WorkloadSpec(rows_min=4, rows_max=2)
+
+    def test_rejects_bad_slo(self):
+        with pytest.raises(ValueError, match="slo"):
+            WorkloadSpec(slo_s=0.0)
+
+    def test_requests_are_frozen(self):
+        request = generate_requests(WorkloadSpec(n_requests=1))[0]
+        with pytest.raises(AttributeError):
+            request.rows = 99
+        assert isinstance(request, Request)

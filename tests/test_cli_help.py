@@ -1,0 +1,46 @@
+"""Every registered subcommand must have a working --help.
+
+A sweep over the registry (rather than hand-picked names) means a new
+subcommand that wires its parser wrong — or forgets one — fails here the
+moment it is registered.
+"""
+
+import pytest
+
+from repro.__main__ import SUBCOMMANDS, main
+
+
+@pytest.mark.parametrize("name", sorted(SUBCOMMANDS))
+def test_subcommand_help_exits_zero(name, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        SUBCOMMANDS[name].main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    # `run` is the default action and keeps the bare prog string.
+    expected = "python -m repro" if name == "run" else (
+        f"python -m repro {name}"
+    )
+    assert expected in out
+
+
+def test_registry_covers_expected_subcommands():
+    # The historical set plus serve; shrinking this list is a breaking
+    # CLI change and should be a conscious one.
+    assert {
+        "run",
+        "list",
+        "trace",
+        "timeline",
+        "chaos",
+        "fuzz",
+        "serve",
+        "report",
+        "regress",
+    } <= set(SUBCOMMANDS)
+
+
+def test_top_level_help_lists_every_subcommand(capsys):
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    for name in SUBCOMMANDS:
+        assert name in out

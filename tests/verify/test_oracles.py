@@ -42,6 +42,7 @@ class TestRegistry:
         assert list(ORACLES) == [
             "forward_dense",
             "backward_dense",
+            "batched_forward",
             "metamorphic_linear",
             "metamorphic_probe",
             "optimizer_reference",
